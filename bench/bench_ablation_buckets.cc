@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Ablation: flow-table bucket count vs classification cost.
+ *
+ * Flow Classification's per-packet cost is parsing + hash + chain
+ * walk; the chain length is flows/buckets.  This bench sweeps the
+ * bucket count for a fixed trace and shows the cost and memory
+ * tradeoff a designer makes when sizing the hash table — the kind of
+ * decision the paper argues per-packet workload data should drive.
+ */
+
+#include "apps/flow_class.hh"
+#include "bench_util.hh"
+#include "common/texttable.hh"
+#include "net/ipv4.hh"
+#include "net/tracegen.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace pb;
+    return bench::benchMain([&] {
+        uint32_t packets = bench::packetArg(argc, argv, 20'000);
+        bench::banner(
+            strprintf("Ablation: Flow-Table Buckets vs "
+                      "Classification Cost (ODU, %u packets)",
+                      packets),
+            "fewer buckets -> longer chains -> more instructions and "
+            "non-packet accesses per packet");
+
+        TextTable table(6);
+        table.header({"Buckets", "insts/pkt", "non-pkt/pkt",
+                      "max insts", "flows", "table bytes"});
+        for (uint32_t buckets : {64u, 256u, 1024u, 4096u, 16384u}) {
+            apps::FlowClassApp app(buckets);
+            core::PacketBench bench(app);
+            net::SyntheticTrace trace(net::Profile::ODU, packets, 5);
+            double insts = 0;
+            double nonpkt = 0;
+            uint64_t max_insts = 0;
+            uint32_t n = 0;
+            while (auto packet = trace.next()) {
+                auto outcome = bench.processPacket(*packet);
+                insts += static_cast<double>(outcome.stats.instCount);
+                nonpkt += outcome.stats.nonPacketAccesses();
+                max_insts =
+                    std::max(max_insts, outcome.stats.instCount);
+                n++;
+            }
+            table.row({withCommas(buckets),
+                       strprintf("%.1f", insts / n),
+                       strprintf("%.1f", nonpkt / n),
+                       withCommas(max_insts),
+                       withCommas(app.simFlowCount(bench.memory())),
+                       withCommas(
+                           bench.recorder().dataMemoryBytes())});
+        }
+        std::printf("%s", table.render().c_str());
+    });
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Extension: analytic processing delay and multi-core allocation.
+ *
+ * The paper's Section V-D points at two downstream uses of the
+ * workload characteristics: an analytic per-packet processing-delay
+ * model (their ref. [29]) and processor-allocation studies (ref.
+ * [31]).  This bench feeds the measured per-packet statistics into
+ * the delay model and dispatches the trace onto 1..16 parallel
+ * IXP-class engines.
+ */
+
+#include "analysis/delaymodel.hh"
+#include "apps/crc_app.hh"
+#include "bench_util.hh"
+#include "common/texttable.hh"
+#include "net/tracegen.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace pb;
+    using namespace pb::an;
+    return bench::benchMain([&] {
+        uint32_t packets = bench::packetArg(argc, argv, 2'000);
+        CoreModel core; // IXP2400-class defaults
+        bench::banner(
+            strprintf("Extension: Processing Delay Model + "
+                      "Multi-Core Allocation (MRA, %u packets, "
+                      "%.0f MHz engines)", packets, core.clockMhz),
+            "delay = (insts x CPI + mem accesses x latency) / f; "
+            "throughput from earliest-free-core dispatch");
+
+        ExperimentConfig cfg;
+        TextTable delay_table(4);
+        delay_table.header({"App", "mean delay (us)", "max (us)",
+                            "1-core kpps"});
+        std::vector<std::pair<AppKind, std::vector<double>>> services;
+        for (AppKind kind : extendedAppKinds) {
+            AppRun run =
+                runApp(kind, net::Profile::MRA, packets, cfg);
+            DelaySummary summary = summarizeDelay(run.stats, core);
+            delay_table.row(
+                {appTitle(kind),
+                 strprintf("%.3f", summary.meanUsec),
+                 strprintf("%.3f", summary.maxUsec),
+                 strprintf("%.1f", summary.corePacketsPerSec / 1e3)});
+            std::vector<double> service;
+            service.reserve(run.stats.size());
+            for (const auto &stats : run.stats)
+                service.push_back(packetDelayUsec(stats, core));
+            services.emplace_back(kind, std::move(service));
+        }
+        std::printf("%s\n", delay_table.render().c_str());
+
+        TextTable scale_table(6);
+        scale_table.header({"App", "1 core", "2", "4", "8",
+                            "16 (kpps)"});
+        for (const auto &[kind, service] : services) {
+            std::vector<std::string> cells{appTitle(kind)};
+            for (uint32_t cores : {1u, 2u, 4u, 8u, 16u}) {
+                ParallelResult result =
+                    simulateParallel(service, {}, cores);
+                cells.push_back(
+                    strprintf("%.0f", result.throughputPps / 1e3));
+            }
+            scale_table.row(std::move(cells));
+        }
+        std::printf("%s", scale_table.render().c_str());
+        std::printf("\nsaturation throughput scales ~linearly with "
+                    "engines (packet-level parallelism, the premise "
+                    "of NP architectures)\n");
+    });
+}

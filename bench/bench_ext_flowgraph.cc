@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Extension: the weighted packet-processing flow graph proposed in
+ * the paper's introduction ("by comparing the execution path of
+ * different packets on the same application, we can develop a
+ * weighted flow graph that illustrates the dynamics of packet
+ * processing").
+ *
+ * Prints the hottest block-to-block edges per application and emits
+ * the full Graphviz DOT graph for Flow Classification.
+ */
+
+#include "analysis/flowgraph.hh"
+#include "apps/crc_app.hh"
+#include "bench_util.hh"
+#include "common/texttable.hh"
+#include "net/tracegen.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace pb;
+    using namespace pb::an;
+    return bench::benchMain([&] {
+        uint32_t packets = bench::packetArg(argc, argv, 200);
+        bench::banner(
+            strprintf("Extension: Weighted Packet-Processing Flow "
+                      "Graph (MRA, %u packets)", packets),
+            "hot edges = the fast path; low-weight edges = special "
+            "cases that can live on the slow path");
+
+        ExperimentConfig cfg;
+        cfg.coreTablePrefixes = 8192;
+        for (AppKind kind :
+             {AppKind::Ipv4Radix, AppKind::FlowClass}) {
+            // Collect instruction traces.
+            auto app = makeApp(kind, cfg);
+            core::BenchConfig bench_cfg =
+                benchConfigFor(net::Profile::MRA, cfg);
+            bench_cfg.recorder.instTrace = true;
+            core::PacketBench bench(*app, bench_cfg);
+            net::SyntheticTrace trace(net::Profile::MRA, packets,
+                                      cfg.traceSeed);
+
+            WeightedFlowGraph graph(bench.blocks());
+            while (auto packet = trace.next()) {
+                auto outcome = bench.processPacket(*packet);
+                graph.addPacket(outcome.stats.instTrace);
+            }
+
+            std::printf("\n%s: %u blocks, %zu edges over %llu "
+                        "packets; hottest edges:\n",
+                        appTitle(kind).c_str(),
+                        bench.blocks().numBlocks(),
+                        graph.edges().size(),
+                        static_cast<unsigned long long>(
+                            graph.packets()));
+            TextTable table(4);
+            table.header({"edge", "traversals", "per packet",
+                          "kind"});
+            auto edges = graph.edges();
+            for (size_t i = 0; i < std::min<size_t>(8, edges.size());
+                 i++) {
+                const auto &edge = edges[i];
+                double per_pkt = static_cast<double>(edge.count) /
+                                 static_cast<double>(graph.packets());
+                table.row({strprintf("B%u -> B%u", edge.from, edge.to),
+                           std::to_string(edge.count),
+                           strprintf("%.2f", per_pkt),
+                           edge.from == edge.to       ? "self-loop"
+                           : edge.from > edge.to      ? "back edge"
+                                                      : "forward"});
+            }
+            std::printf("%s", table.render().c_str());
+
+            if (kind == AppKind::FlowClass) {
+                std::printf("\nGraphviz DOT (flow classification):\n%s",
+                            graph.toDot("flow_class").c_str());
+            }
+        }
+    });
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Extension: flow-pinned multi-engine scaling, on real simulation.
+ *
+ * Unlike bench_ext_delay_parallel (analytic service times), this
+ * bench actually replicates the application across N simulated
+ * engines with flow-pinned dispatch and reports the achieved load
+ * balance — the quantity that bounds throughput for *stateful*
+ * applications, where packets of one flow must share an engine
+ * (paper reference [31]'s topology question).
+ */
+
+#include "apps/flow_class.hh"
+#include "apps/nat_app.hh"
+#include "apps/tsa_app.hh"
+#include "bench_util.hh"
+#include "common/texttable.hh"
+#include "core/multicore.hh"
+#include "net/tracegen.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace pb;
+    using namespace pb::core;
+    return bench::benchMain([&] {
+        uint32_t packets = bench::packetArg(argc, argv, 8'000);
+        bench::banner(
+            strprintf("Extension: Flow-Pinned Multi-Engine Scaling "
+                      "(MRA, %u packets)", packets),
+            "stateful apps parallelize up to the flow-level load "
+            "balance; imbalance caps the speedup");
+
+        struct Workload
+        {
+            const char *name;
+            MultiCoreBench::AppFactory factory;
+        };
+        const Workload workloads[] = {
+            {"Flow Class.",
+             [] { return std::make_unique<apps::FlowClassApp>(1024); }},
+            {"NAT",
+             [] { return std::make_unique<apps::NatApp>(); }},
+            {"TSA",
+             [] { return std::make_unique<apps::TsaApp>(); }},
+        };
+
+        TextTable table(5);
+        table.header({"App", "engines", "imbalance",
+                      "speedup", "efficiency"});
+        for (const auto &workload : workloads) {
+            for (uint32_t engines : {1u, 2u, 4u, 8u, 16u}) {
+                MultiCoreBench cores(workload.factory, engines);
+                net::SyntheticTrace trace(net::Profile::MRA, packets,
+                                          3);
+                MultiCoreResult result = cores.run(trace, packets);
+                table.row({workload.name, std::to_string(engines),
+                           strprintf("%.2f", result.imbalance()),
+                           strprintf("%.2f", result.speedup()),
+                           strprintf("%.0f%%", 100.0 *
+                                                   result.speedup() /
+                                                   engines)});
+            }
+            table.rule();
+        }
+        std::printf("%s", table.render().c_str());
+    });
+}

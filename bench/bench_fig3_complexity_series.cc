@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Figure 3: packet processing complexity variation — instructions
+ * executed per packet over the first packets of the MRA trace, for
+ * IPv4-radix and Flow Classification.
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace pb;
+    return bench::benchMain([&] {
+        uint32_t packets = bench::packetArg(argc, argv, 500);
+        bench::banner(
+            strprintf("Figure 3: Packet Processing Complexity "
+                      "Variation (MRA, %u packets)", packets),
+            "radix varies widely with the routing-table path; flow "
+            "classification clusters on a few values");
+        an::ExperimentConfig cfg;
+        std::printf("%s", an::renderFig3(cfg, packets).c_str());
+    });
+}

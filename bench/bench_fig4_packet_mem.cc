@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Figure 4: packet memory access pattern — accesses to packet
+ * memory per packet.
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace pb;
+    return bench::benchMain([&] {
+        uint32_t packets = bench::packetArg(argc, argv, 500);
+        bench::banner(
+            strprintf("Figure 4: Packet Memory Access Pattern "
+                      "(MRA, %u packets)", packets),
+            "variation in packet-memory accesses is very small");
+        an::ExperimentConfig cfg;
+        std::printf("%s", an::renderFig4(cfg, packets).c_str());
+    });
+}

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Figure 5: non-packet memory access pattern — accesses to program
+ * data memory per packet, correlated with instruction counts.
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace pb;
+    return bench::benchMain([&] {
+        uint32_t packets = bench::packetArg(argc, argv, 500);
+        bench::banner(
+            strprintf("Figure 5: Non-Packet Memory Access Pattern "
+                      "(MRA, %u packets)", packets),
+            "tracks the per-packet instruction counts of Figure 3");
+        an::ExperimentConfig cfg;
+        std::printf("%s", an::renderFig5(cfg, packets).c_str());
+    });
+}

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Figure 6: detailed packet processing — unique instruction index
+ * versus execution order while processing a single packet; loops
+ * appear as overlaps.
+ */
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace pb;
+    return bench::benchMain([&] {
+        bench::banner(
+            "Figure 6: Instruction Access Pattern (one MRA packet)",
+            "radix shows repeated loop structure; flow "
+            "classification is nearly linear");
+        an::ExperimentConfig cfg;
+        std::printf("%s", an::renderFig6(cfg).c_str());
+    });
+}

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Figure 7: basic block access frequency — the probability that each
+ * basic block executes while processing a packet.
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace pb;
+    return bench::benchMain([&] {
+        uint32_t packets = bench::packetArg(argc, argv, 1'000);
+        bench::banner(
+            strprintf("Figure 7: Basic Block Execution Probability "
+                      "(MRA, %u packets)", packets),
+            "most blocks execute for every packet; a tail of "
+            "special-case blocks is rare");
+        an::ExperimentConfig cfg;
+        std::printf("%s", an::renderFig7(cfg, packets).c_str());
+    });
+}

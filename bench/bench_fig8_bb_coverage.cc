@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Figure 8: packet coverage — fraction of packets processable with
+ * a given number of basic blocks installed in the instruction store.
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace pb;
+    return bench::benchMain([&] {
+        uint32_t packets = bench::packetArg(argc, argv, 1'000);
+        bench::banner(
+            strprintf("Figure 8: Packet Coverage vs Basic Blocks "
+                      "(MRA, %u packets)", packets),
+            "over 90%% coverage well before all blocks are "
+            "installed (the sweet spot)");
+        an::ExperimentConfig cfg;
+        std::printf("%s", an::renderFig8(cfg, packets).c_str());
+    });
+}

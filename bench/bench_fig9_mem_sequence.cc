@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Figure 9: data memory access pattern while processing a single
+ * packet — packet memory on the positive axis, non-packet on the
+ * negative axis.
+ */
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace pb;
+    return bench::benchMain([&] {
+        bench::banner(
+            "Figure 9: Data Memory Access Sequence (one MRA packet)",
+            "radix reads the header up front then works in table "
+            "memory; flow classification interleaves both");
+        an::ExperimentConfig cfg;
+        std::printf("%s", an::renderFig9(cfg).c_str());
+    });
+}

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the PacketBench substrates:
+ * interpreter throughput, assembler, trace I/O, generators, LPM
+ * structures, hashes, scrambler, and anonymizers.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "anon/tsa.hh"
+#include "apps/flow_class.hh"
+#include "apps/ipv4_radix.hh"
+#include "common/hash.hh"
+#include "common/rng.hh"
+#include "core/packetbench.hh"
+#include "isa/assembler.hh"
+#include "net/ipv4.hh"
+#include "net/pcap.hh"
+#include "net/scramble.hh"
+#include "net/tracegen.hh"
+#include "route/lctrie.hh"
+#include "route/linear.hh"
+#include "route/radix.hh"
+
+namespace
+{
+
+using namespace pb;
+
+net::Packet
+samplePacket()
+{
+    net::FiveTuple tuple;
+    tuple.src = 0x0a010203;
+    tuple.dst = 0xc0a80042;
+    tuple.srcPort = 1234;
+    tuple.dstPort = 80;
+    tuple.proto = 6;
+    net::Packet packet;
+    packet.bytes = net::buildIpv4Packet(tuple, 64);
+    packet.wireLen = 64;
+    return packet;
+}
+
+void
+BM_InterpreterFlowClass(benchmark::State &state)
+{
+    apps::FlowClassApp app(1024);
+    core::PacketBench bench(app);
+    net::Packet packet = samplePacket();
+    uint64_t insts = 0;
+    for (auto _ : state) {
+        core::PacketOutcome outcome = bench.processPacket(packet);
+        insts += outcome.stats.instCount;
+        benchmark::DoNotOptimize(outcome.verdict);
+    }
+    state.counters["sim_insts/s"] = benchmark::Counter(
+        static_cast<double>(insts), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InterpreterFlowClass);
+
+void
+BM_InterpreterRadix(benchmark::State &state)
+{
+    apps::Ipv4RadixApp app(route::generateCoreTable(8192, 1));
+    core::PacketBench bench(app);
+    net::Packet packet = samplePacket();
+    uint64_t insts = 0;
+    for (auto _ : state) {
+        net::Packet copy = packet;
+        core::PacketOutcome outcome = bench.processPacket(copy);
+        insts += outcome.stats.instCount;
+    }
+    state.counters["sim_insts/s"] = benchmark::Counter(
+        static_cast<double>(insts), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InterpreterRadix);
+
+void
+BM_Assembler(benchmark::State &state)
+{
+    std::string src;
+    for (int i = 0; i < 200; i++)
+        src += strprintf("l%d: addi t0, t0, 1\nbnez t0, l%d\n", i, i);
+    src += "sys 0\n";
+    for (auto _ : state) {
+        isa::Program prog = isa::Assembler(0x1000).assemble(src);
+        benchmark::DoNotOptimize(prog.words.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 401);
+}
+BENCHMARK(BM_Assembler);
+
+void
+BM_PcapRoundTrip(benchmark::State &state)
+{
+    net::Packet packet = samplePacket();
+    for (auto _ : state) {
+        std::stringstream stream;
+        net::PcapWriter writer(stream, net::LinkType::Raw);
+        for (int i = 0; i < 64; i++)
+            writer.write(packet);
+        net::PcapReader reader(stream);
+        while (auto got = reader.next())
+            benchmark::DoNotOptimize(got->bytes.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_PcapRoundTrip);
+
+void
+BM_TraceGen(benchmark::State &state)
+{
+    for (auto _ : state) {
+        net::SyntheticTrace trace(net::Profile::MRA, 256, 1);
+        while (auto packet = trace.next())
+            benchmark::DoNotOptimize(packet->bytes.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_TraceGen);
+
+void
+BM_LpmLinear(benchmark::State &state)
+{
+    route::LinearLpm lpm(route::generateCoreTable(
+        static_cast<uint32_t>(state.range(0)), 1));
+    Rng rng(3);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(lpm.lookup(rng.next()));
+}
+BENCHMARK(BM_LpmLinear)->Arg(256)->Arg(4096);
+
+void
+BM_LpmRadix(benchmark::State &state)
+{
+    route::RadixTable radix(route::generateCoreTable(
+        static_cast<uint32_t>(state.range(0)), 1));
+    Rng rng(3);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(radix.lookup(rng.next()));
+}
+BENCHMARK(BM_LpmRadix)->Arg(4096)->Arg(65536);
+
+void
+BM_LpmLcTrie(benchmark::State &state)
+{
+    route::LcTrie trie(route::generateCoreTable(
+        static_cast<uint32_t>(state.range(0)), 1));
+    Rng rng(3);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(trie.lookup(rng.next()));
+}
+BENCHMARK(BM_LpmLcTrie)->Arg(4096)->Arg(65536);
+
+void
+BM_HashJenkins(benchmark::State &state)
+{
+    uint8_t buffer[64];
+    for (size_t i = 0; i < sizeof(buffer); i++)
+        buffer[i] = static_cast<uint8_t>(i);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(jenkinsOaat(buffer, sizeof(buffer)));
+    state.SetBytesProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_HashJenkins);
+
+void
+BM_HashCrc32(benchmark::State &state)
+{
+    uint8_t buffer[64];
+    for (size_t i = 0; i < sizeof(buffer); i++)
+        buffer[i] = static_cast<uint8_t>(i);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(crc32(buffer, sizeof(buffer)));
+    state.SetBytesProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_HashCrc32);
+
+void
+BM_Scrambler(benchmark::State &state)
+{
+    net::AddressScrambler scrambler(42);
+    uint32_t addr = 1;
+    for (auto _ : state) {
+        addr = scrambler.scramble(addr);
+        benchmark::DoNotOptimize(addr);
+    }
+}
+BENCHMARK(BM_Scrambler);
+
+void
+BM_TsaHost(benchmark::State &state)
+{
+    anon::TsaAnonymizer tsa(1);
+    uint32_t addr = 1;
+    for (auto _ : state) {
+        addr = tsa.anonymize(addr);
+        benchmark::DoNotOptimize(addr);
+    }
+}
+BENCHMARK(BM_TsaHost);
+
+void
+BM_CryptoPanHost(benchmark::State &state)
+{
+    anon::CryptoPanPp pan(1);
+    uint32_t addr = 1;
+    for (auto _ : state) {
+        addr = pan.anonymize(addr);
+        benchmark::DoNotOptimize(addr);
+    }
+}
+BENCHMARK(BM_CryptoPanHost);
+
+void
+BM_InetChecksum(benchmark::State &state)
+{
+    net::Packet packet = samplePacket();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            net::inetChecksum(packet.bytes.data(), 20));
+    }
+}
+BENCHMARK(BM_InetChecksum);
+
+} // namespace
+
+BENCHMARK_MAIN();

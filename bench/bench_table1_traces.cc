@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Table I: packet traces used to evaluate applications.
+ */
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace pb;
+    return bench::benchMain([&] {
+        bench::banner(
+            "Table I: Packet Traces Used to Evaluate Applications",
+            "MRA/COS/ODU are NLANR backbone traces; LAN is a local "
+            "intranet capture. We synthesize equivalents per profile.");
+        std::printf("%s", an::renderTable1().c_str());
+    });
+}

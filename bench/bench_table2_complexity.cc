@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Table II: average number of instructions per packet executed for
+ * the four applications over the four traces.
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace pb;
+    return bench::benchMain([&] {
+        uint32_t packets = bench::packetArg(argc, argv, 10'000);
+        bench::banner(
+            strprintf("Table II: Average Instructions per Packet "
+                      "(%u packets per trace)", packets),
+            "radix 4,493 / trie 205 / flow 159 / TSA 904 on "
+            "SimpleScalar-ARM; expect the same ordering and "
+            "radix >> TSA > trie > flow gaps here");
+        an::ExperimentConfig cfg;
+        std::printf("%s", an::renderTable2(cfg, packets).c_str());
+    });
+}

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Table III: average accesses to packet and non-packet memory.
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace pb;
+    return bench::benchMain([&] {
+        uint32_t packets = bench::packetArg(argc, argv, 10'000);
+        bench::banner(
+            strprintf("Table III: Packet vs Non-Packet Memory "
+                      "Accesses (%u packets per trace)", packets),
+            "packet accesses near-constant per app (32/32/23/18); "
+            "non-packet dominated by radix (836), tiny for trie (18)");
+        an::ExperimentConfig cfg;
+        std::printf("%s", an::renderTable3(cfg, packets).c_str());
+    });
+}

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Table IV: instruction and data memory sizes (bytes touched while
+ * processing the first packets of the MRA trace).
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace pb;
+    return bench::benchMain([&] {
+        uint32_t packets = bench::packetArg(argc, argv, 1'000);
+        bench::banner(
+            strprintf("Table IV: Instruction and Data Memory Sizes "
+                      "(bytes, MRA, %u packets)", packets),
+            "radix 4,420/18,004; trie 584/2,908; "
+            "flow 1,584/43,344; TSA 836/2,668");
+        an::ExperimentConfig cfg;
+        std::printf("%s", an::renderTable4(cfg, packets).c_str());
+    });
+}

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Table V: variation of executed instructions — the three most
+ * frequent per-packet instruction counts, minimum, maximum, and
+ * average, over the COS trace.
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace pb;
+    return bench::benchMain([&] {
+        uint32_t packets = bench::packetArg(argc, argv, 100'000);
+        bench::banner(
+            strprintf("Table V: Variation of Executed Instructions "
+                      "(COS, %u packets)", packets),
+            "top-3 mass ~90%% for trie/flow/TSA, much flatter for "
+            "radix (10.5%% + 6.0%% + 3.2%%)");
+        an::ExperimentConfig cfg;
+        std::printf("%s", an::renderTable5(cfg, packets).c_str());
+    });
+}

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Table VI: variation of unique executed instructions over the COS
+ * trace.
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace pb;
+    return bench::benchMain([&] {
+        uint32_t packets = bench::packetArg(argc, argv, 100'000);
+        bench::banner(
+            strprintf("Table VI: Variation of Unique Executed "
+                      "Instructions (COS, %u packets)", packets),
+            "unique counts vary far less than totals; repetition "
+            "factor ~4x for radix/TSA, ~1x for trie/flow");
+        an::ExperimentConfig cfg;
+        std::printf("%s", an::renderTable6(cfg, packets).c_str());
+    });
+}

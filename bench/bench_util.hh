@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Shared helpers for the table/figure bench binaries.
+ *
+ * Every binary accepts an optional `--packets=N` argument to scale
+ * the experiment, and prints the paper reference values next to the
+ * reproduction so the two are directly comparable.
+ */
+
+#ifndef PB_BENCH_BENCH_UTIL_HH
+#define PB_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+
+#include "analysis/experiments.hh"
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace pb::bench
+{
+
+/** Parse `--packets=N` (or a bare integer) from argv. */
+inline uint32_t
+packetArg(int argc, char **argv, uint32_t fallback)
+{
+    for (int i = 1; i < argc; i++) {
+        std::string_view arg = argv[i];
+        if (startsWith(arg, "--packets="))
+            arg.remove_prefix(10);
+        auto value = parseInt(arg);
+        if (value && *value > 0)
+            return static_cast<uint32_t>(*value);
+    }
+    return fallback;
+}
+
+/** Print a section header for one experiment. */
+inline void
+banner(const std::string &title, const std::string &paper_note)
+{
+    std::printf("==============================================="
+                "=====================\n");
+    std::printf("%s\n", title.c_str());
+    if (!paper_note.empty())
+        std::printf("paper reference: %s\n", paper_note.c_str());
+    std::printf("-----------------------------------------------"
+                "---------------------\n");
+}
+
+/** Run a table/figure main body with uniform error handling. */
+template <typename Fn>
+int
+benchMain(Fn &&body)
+{
+    try {
+        body();
+        return 0;
+    } catch (const Error &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+}
+
+} // namespace pb::bench
+
+#endif // PB_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Trace anonymizer: the TSA workload as a real tool.
+ *
+ * Reads a pcap file (or generates synthetic backbone traffic when no
+ * file is given), anonymizes every packet's addresses with the
+ * prefix-preserving TSA application *running on the simulated
+ * network processor*, and writes the anonymized trace to a new pcap
+ * file — the paper's measurement-infrastructure use case end to end.
+ *
+ * Usage: anonymize_trace [input.pcap] [output.pcap] [key]
+ */
+
+#include <cstdio>
+#include <fstream>
+
+#include "apps/tsa_app.hh"
+#include "common/strutil.hh"
+#include "core/packetbench.hh"
+#include "net/ipv4.hh"
+#include "net/pcap.hh"
+#include "net/tracegen.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace pb;
+    try {
+        std::string output_path =
+            argc > 2 ? argv[2] : "/tmp/anonymized.pcap";
+        uint32_t key = 0xfeedface;
+        if (argc > 3) {
+            auto parsed = parseInt(argv[3]);
+            if (parsed)
+                key = static_cast<uint32_t>(*parsed);
+        }
+
+        std::unique_ptr<net::TraceSource> source;
+        if (argc > 1) {
+            source = net::openPcapFile(argv[1]);
+        } else {
+            std::printf("no input given; generating 1000 synthetic "
+                        "backbone packets\n");
+            source = std::make_unique<net::SyntheticTrace>(
+                net::Profile::MRA, 1000, 1);
+        }
+
+        apps::TsaApp app(key);
+        core::PacketBench bench(app);
+
+        std::ofstream out_file(output_path, std::ios::binary);
+        if (!out_file)
+            fatal("cannot open '%s' for writing", output_path.c_str());
+        net::PcapWriter sink(out_file, net::LinkType::Raw);
+
+        uint64_t insts = 0;
+        uint32_t kept = 0;
+        uint32_t dropped = 0;
+        while (auto packet = source->next()) {
+            core::PacketOutcome outcome =
+                bench.processPacket(*packet);
+            insts += outcome.stats.instCount;
+            if (outcome.verdict == isa::SysCode::Send) {
+                // Strip any link header: TSA records raw IP.
+                net::Packet raw;
+                raw.tsUsec = packet->tsUsec;
+                raw.wireLen = packet->wireLen;
+                raw.bytes.assign(packet->l3(),
+                                 packet->l3() + packet->l3Len());
+                sink.write(raw);
+                kept++;
+            } else {
+                dropped++;
+            }
+        }
+
+        std::printf("anonymized %u packets (%u non-IPv4 dropped) -> "
+                    "%s\n", kept, dropped, output_path.c_str());
+        std::printf("simulated cost: %.1f instructions/packet\n",
+                    kept ? static_cast<double>(insts) / (kept + dropped)
+                         : 0.0);
+        std::printf("header records collected on-chip: %u\n",
+                    app.simRecordCount(bench.memory()));
+        std::printf("prefix preservation: addresses sharing k prefix "
+                    "bits still share exactly k bits\n");
+        return 0;
+    } catch (const Error &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Trace inspector: one-pass statistics over a packet trace.
+ *
+ * Accepts a pcap file, a TSH file (by .tsh extension), or a synthetic
+ * profile name, and prints the Table-I-style facts PacketBench users
+ * need before characterizing a workload on the trace.
+ *
+ * Usage: trace_info [trace.pcap|trace.tsh|MRA|COS|ODU|LAN] [packets]
+ */
+
+#include <cstdio>
+
+#include "common/strutil.hh"
+#include "net/pcap.hh"
+#include "net/tracegen.hh"
+#include "net/tracestats.hh"
+#include "net/tsh.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace pb;
+    try {
+        std::string spec = argc > 1 ? argv[1] : "MRA";
+        uint64_t packets = 10'000;
+        if (argc > 2) {
+            if (auto v = parseInt(argv[2]))
+                packets = static_cast<uint64_t>(*v);
+        }
+
+        std::unique_ptr<net::TraceSource> source;
+        for (net::Profile profile : net::allProfiles) {
+            if (spec == net::profileInfo(profile).name) {
+                source = std::make_unique<net::SyntheticTrace>(
+                    profile, static_cast<uint32_t>(packets), 1);
+            }
+        }
+        if (!source) {
+            if (spec.size() > 4 &&
+                spec.substr(spec.size() - 4) == ".tsh") {
+                source = net::openTshFile(spec);
+            } else {
+                source = net::openPcapFile(spec);
+            }
+        }
+
+        net::TraceStats stats =
+            net::collectTraceStats(*source, packets);
+        std::printf("%s", stats.report(spec).c_str());
+        return 0;
+    } catch (const Error &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+}

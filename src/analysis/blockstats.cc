@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Basic-block statistics implementation.
+ */
+
+#include "blockstats.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace pb::an
+{
+
+std::vector<double>
+blockProbabilities(const std::vector<sim::PacketStats> &packets,
+                   uint32_t num_blocks)
+{
+    if (packets.empty())
+        fatal("block probabilities of an empty run");
+    std::vector<uint64_t> hits(num_blocks, 0);
+    for (const auto &stats : packets) {
+        for (uint32_t block : stats.blocks) {
+            if (block >= num_blocks)
+                panic("block id %u out of range", block);
+            hits[block]++;
+        }
+    }
+    std::vector<double> probabilities(num_blocks);
+    for (uint32_t b = 0; b < num_blocks; b++) {
+        probabilities[b] =
+            static_cast<double>(hits[b]) / packets.size();
+    }
+    return probabilities;
+}
+
+std::vector<CoveragePoint>
+coverageCurve(const std::vector<sim::PacketStats> &packets,
+              uint32_t num_blocks)
+{
+    std::vector<double> probabilities =
+        blockProbabilities(packets, num_blocks);
+
+    // Greedy install order: most frequently executed blocks first.
+    std::vector<uint32_t> order(num_blocks);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](uint32_t a, uint32_t b) {
+                         return probabilities[a] > probabilities[b];
+                     });
+    std::vector<uint32_t> rank(num_blocks);
+    for (uint32_t i = 0; i < num_blocks; i++)
+        rank[order[i]] = i;
+
+    // A packet is covered once its worst-ranked block is installed.
+    std::vector<uint64_t> covered_at(num_blocks + 1, 0);
+    for (const auto &stats : packets) {
+        uint32_t worst = 0;
+        for (uint32_t block : stats.blocks)
+            worst = std::max(worst, rank[block] + 1);
+        covered_at[worst]++;
+    }
+
+    std::vector<CoveragePoint> curve;
+    curve.reserve(num_blocks);
+    uint64_t covered = covered_at[0];
+    for (uint32_t n = 1; n <= num_blocks; n++) {
+        covered += covered_at[n];
+        curve.push_back(
+            {n, static_cast<double>(covered) / packets.size()});
+    }
+    return curve;
+}
+
+uint32_t
+blocksForCoverage(const std::vector<CoveragePoint> &curve,
+                  double fraction)
+{
+    for (const auto &point : curve) {
+        if (point.packetFraction >= fraction)
+            return point.blocks;
+    }
+    return curve.empty() ? 0 : curve.back().blocks;
+}
+
+} // namespace pb::an

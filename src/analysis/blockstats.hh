@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Basic-block statistics across packets:
+ *
+ *  - execution probability per block (paper Fig. 7): the fraction of
+ *    packets whose processing executed the block at least once;
+ *  - packet coverage curve (paper Fig. 8): installing the most
+ *    frequently executed blocks first, what fraction of packets can
+ *    be processed entirely from a store holding N blocks.
+ */
+
+#ifndef PB_ANALYSIS_BLOCKSTATS_HH
+#define PB_ANALYSIS_BLOCKSTATS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/accounting.hh"
+
+namespace pb::an
+{
+
+/**
+ * Per-block execution probability.
+ *
+ * @param packets   per-packet stats with block sets recorded
+ * @param num_blocks static block count of the program
+ * @return probability in [0,1] per block id
+ */
+std::vector<double>
+blockProbabilities(const std::vector<sim::PacketStats> &packets,
+                   uint32_t num_blocks);
+
+/** One point of the coverage curve. */
+struct CoveragePoint
+{
+    uint32_t blocks;       ///< number of blocks installed
+    double packetFraction; ///< fraction of packets fully covered
+};
+
+/**
+ * Greedy packet-coverage curve: blocks are installed in decreasing
+ * execution-probability order; a packet is covered once every block
+ * it executes is installed.
+ *
+ * The result has one point per installed-block count from 1 to
+ * @p num_blocks (monotone non-decreasing fractions).
+ */
+std::vector<CoveragePoint>
+coverageCurve(const std::vector<sim::PacketStats> &packets,
+              uint32_t num_blocks);
+
+/**
+ * Smallest number of blocks achieving at least @p fraction coverage
+ * under the greedy order, or num_blocks if unreachable.
+ */
+uint32_t
+blocksForCoverage(const std::vector<CoveragePoint> &curve,
+                  double fraction);
+
+} // namespace pb::an
+
+#endif // PB_ANALYSIS_BLOCKSTATS_HH

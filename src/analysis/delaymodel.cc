@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Delay model and multi-core dispatch implementation.
+ */
+
+#include "delaymodel.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace pb::an
+{
+
+double
+packetDelayUsec(const sim::PacketStats &stats, const CoreModel &core)
+{
+    double cycles =
+        static_cast<double>(stats.instCount) * core.cpi +
+        stats.packetAccesses() * core.packetMemCycles +
+        stats.nonPacketAccesses() * core.dataMemCycles;
+    return cycles / core.clockMhz; // MHz -> cycles per usec
+}
+
+DelaySummary
+summarizeDelay(const std::vector<sim::PacketStats> &run,
+               const CoreModel &core)
+{
+    if (run.empty())
+        fatal("delay summary of an empty run");
+    DelaySummary summary;
+    double total = 0.0;
+    for (const auto &stats : run) {
+        double delay = packetDelayUsec(stats, core);
+        total += delay;
+        summary.maxUsec = std::max(summary.maxUsec, delay);
+    }
+    summary.meanUsec = total / static_cast<double>(run.size());
+    summary.corePacketsPerSec = 1e6 / summary.meanUsec;
+    return summary;
+}
+
+ParallelResult
+simulateParallel(const std::vector<double> &service_usec,
+                 const std::vector<double> &arrival_usec, uint32_t cores)
+{
+    if (cores == 0)
+        fatal("parallel simulation needs at least one core");
+    if (service_usec.empty())
+        fatal("parallel simulation of an empty run");
+    if (!arrival_usec.empty() &&
+        arrival_usec.size() != service_usec.size())
+        fatal("arrival/service vectors must match");
+
+    // Earliest-free-core dispatch.
+    std::vector<double> free_at(cores, 0.0);
+    double total_sojourn = 0.0;
+    double busy = 0.0;
+    double last_finish = 0.0;
+    for (size_t i = 0; i < service_usec.size(); i++) {
+        double arrival = arrival_usec.empty() ? 0.0 : arrival_usec[i];
+        auto it = std::min_element(free_at.begin(), free_at.end());
+        double start = std::max(arrival, *it);
+        double finish = start + service_usec[i];
+        *it = finish;
+        total_sojourn += finish - arrival;
+        busy += service_usec[i];
+        last_finish = std::max(last_finish, finish);
+    }
+
+    ParallelResult result;
+    result.cores = cores;
+    result.throughputPps =
+        last_finish > 0.0
+            ? static_cast<double>(service_usec.size()) * 1e6 /
+                  last_finish
+            : 0.0;
+    result.meanSojournUsec =
+        total_sojourn / static_cast<double>(service_usec.size());
+    result.utilization =
+        last_finish > 0.0 ? busy / (last_finish * cores) : 0.0;
+    return result;
+}
+
+} // namespace pb::an

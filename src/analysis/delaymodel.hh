@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Analytic packet-processing delay model.
+ *
+ * The paper's "Impact of Results" section (V-D) points out that the
+ * processing-complexity and memory-access characteristics derived by
+ * PacketBench feed an analytic model of per-packet processing delay
+ * (their reference [29], "Characterizing network processing delay"):
+ *
+ *     delay = (instructions x CPI
+ *              + packet_accesses x packet_mem_latency
+ *              + non_packet_accesses x data_mem_latency) / f_clock
+ *
+ * This module implements that model over PacketStats, plus a simple
+ * multi-core service model in the spirit of their reference [31]
+ * (pipelining vs. multiprocessor topologies): packets arrive with
+ * their trace timestamps and are dispatched to the first available
+ * of N cores.
+ */
+
+#ifndef PB_ANALYSIS_DELAYMODEL_HH
+#define PB_ANALYSIS_DELAYMODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/accounting.hh"
+
+namespace pb::an
+{
+
+/** Processing-engine timing parameters (IXP2400-class defaults). */
+struct CoreModel
+{
+    double clockMhz = 600.0;       ///< microengine clock
+    double cpi = 1.2;              ///< base cycles per instruction
+    double packetMemCycles = 4.0;  ///< per packet-memory access
+    double dataMemCycles = 10.0;   ///< per SRAM/DRAM data access
+};
+
+/** Modeled processing delay of one packet, in microseconds. */
+double packetDelayUsec(const sim::PacketStats &stats,
+                       const CoreModel &core);
+
+/** Summary of a delay-model evaluation over a run. */
+struct DelaySummary
+{
+    double meanUsec = 0.0;
+    double maxUsec = 0.0;
+    /** Sustainable throughput of one core, packets per second. */
+    double corePacketsPerSec = 0.0;
+};
+
+/** Evaluate the model over all packets of a run. */
+DelaySummary summarizeDelay(const std::vector<sim::PacketStats> &run,
+                            const CoreModel &core);
+
+/** Result of the multi-core dispatch simulation. */
+struct ParallelResult
+{
+    uint32_t cores = 0;
+    double throughputPps = 0.0; ///< packets/s actually achieved
+    double meanSojournUsec = 0.0; ///< queueing + service per packet
+    double utilization = 0.0;     ///< busy fraction across cores
+};
+
+/**
+ * Simulate dispatching packets to @p cores parallel engines.
+ *
+ * @param service_usec  per-packet service times (model output)
+ * @param arrival_usec  per-packet arrival times; pass an empty
+ *                      vector for back-to-back (saturation) arrivals
+ */
+ParallelResult simulateParallel(const std::vector<double> &service_usec,
+                                const std::vector<double> &arrival_usec,
+                                uint32_t cores);
+
+} // namespace pb::an
+
+#endif // PB_ANALYSIS_DELAYMODEL_HH

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Paper-experiment harness: one entry point per table and figure of
+ * the evaluation section (Tables I-VI, Figures 3-9).
+ *
+ * Each render function sets up the applications and traces the way
+ * the paper describes, runs them on the simulator, and returns the
+ * table rows / data series as text.  The bench binaries are thin
+ * wrappers over these functions; integration tests assert on the
+ * underlying data.
+ */
+
+#ifndef PB_ANALYSIS_EXPERIMENTS_HH
+#define PB_ANALYSIS_EXPERIMENTS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/packetbench.hh"
+#include "net/tracegen.hh"
+#include "sim/accounting.hh"
+
+namespace pb::an
+{
+
+/** The PacketBench workloads. */
+enum class AppKind
+{
+    // The paper's four header-processing applications (HPA).
+    Ipv4Radix,
+    Ipv4Trie,
+    FlowClass,
+    Tsa,
+    // Payload-processing applications (PPA, CommBench class) — the
+    // paper mentions PacketBench handles these as well.
+    Crc32,
+    XteaEnc,
+    // Further header app from the paper's motivating functions.
+    Nat,
+};
+
+/** The paper's evaluation set (tables and figures use these). */
+constexpr AppKind allAppKinds[] = {AppKind::Ipv4Radix,
+                                   AppKind::Ipv4Trie,
+                                   AppKind::FlowClass, AppKind::Tsa};
+
+/** Everything, including the payload applications. */
+constexpr AppKind extendedAppKinds[] = {
+    AppKind::Ipv4Radix, AppKind::Ipv4Trie, AppKind::FlowClass,
+    AppKind::Tsa,       AppKind::Nat,      AppKind::Crc32,
+    AppKind::XteaEnc};
+
+/** Display name used in table headers. */
+std::string appTitle(AppKind kind);
+
+/** Experiment parameters (defaults follow the paper's setup). */
+struct ExperimentConfig
+{
+    /** Prefixes in the MAE-WEST-like core table (IPv4-radix). */
+    uint32_t coreTablePrefixes = 32768;
+    /** Prefixes in the small table (IPv4-trie, per the paper). */
+    uint32_t smallTablePrefixes = 160;
+    /** Flow Classification hash buckets. */
+    uint32_t flowBuckets = 4096;
+    /** TSA anonymization key. */
+    uint32_t tsaKey = 0x7e57a0ff;
+    /** Routing-table generator seed. */
+    uint32_t tableSeed = 1;
+    /** Trace generator seed. */
+    uint32_t traceSeed = 2;
+    /** Address-scrambler key (paper Section IV-B preprocessing). */
+    uint32_t scrambleKey = 0x5ca1ab1e;
+};
+
+/** Instantiate one application per the configuration. */
+std::unique_ptr<core::Application> makeApp(AppKind kind,
+                                           const ExperimentConfig &cfg);
+
+/**
+ * Framework configuration for a profile: backbone traces (NLANR-
+ * renumbered) get the scrambling preprocessing, the LAN trace does
+ * not — exactly the paper's setup.
+ */
+core::BenchConfig benchConfigFor(net::Profile profile,
+                                 const ExperimentConfig &cfg,
+                                 sim::RecorderConfig recorder = {});
+
+/** Result of one (application, trace) run. */
+struct AppRun
+{
+    std::vector<sim::PacketStats> stats; ///< per packet, in order
+    uint64_t instMemoryBytes = 0; ///< run-level text coverage
+    uint64_t dataMemoryBytes = 0; ///< run-level data coverage
+    uint32_t numBlocks = 0;       ///< static basic blocks
+    uint32_t dropped = 0;         ///< packets the app dropped
+
+    double meanInsts() const;
+    double meanPacketAccesses() const;
+    double meanNonPacketAccesses() const;
+};
+
+/** Run @p kind over @p packets packets of @p profile. */
+AppRun runApp(AppKind kind, net::Profile profile, uint32_t packets,
+              const ExperimentConfig &cfg,
+              sim::RecorderConfig recorder = {});
+
+/** @name Paper tables (rendered as aligned text). @{ */
+/** Table I: the packet traces used to evaluate applications. */
+std::string renderTable1();
+/** Table II: average instructions per packet, 4 apps x 4 traces. */
+std::string renderTable2(const ExperimentConfig &cfg,
+                         uint32_t packets_per_trace);
+/** Table III: packet vs non-packet memory accesses per packet. */
+std::string renderTable3(const ExperimentConfig &cfg,
+                         uint32_t packets_per_trace);
+/** Table IV: instruction and data memory sizes (bytes, MRA). */
+std::string renderTable4(const ExperimentConfig &cfg,
+                         uint32_t packets);
+/** Table V: variation of executed instructions (COS). */
+std::string renderTable5(const ExperimentConfig &cfg,
+                         uint32_t packets);
+/** Table VI: variation of unique executed instructions (COS). */
+std::string renderTable6(const ExperimentConfig &cfg,
+                         uint32_t packets);
+/** @} */
+
+/** @name Paper figures (rendered as plottable series). @{ */
+/** Figs. 3-5: per-packet series over the first packets of MRA. */
+std::string renderFig3(const ExperimentConfig &cfg, uint32_t packets);
+std::string renderFig4(const ExperimentConfig &cfg, uint32_t packets);
+std::string renderFig5(const ExperimentConfig &cfg, uint32_t packets);
+/** Fig. 6: instruction access pattern while processing one packet. */
+std::string renderFig6(const ExperimentConfig &cfg);
+/** Fig. 7: basic-block execution probability (MRA). */
+std::string renderFig7(const ExperimentConfig &cfg, uint32_t packets);
+/** Fig. 8: packet coverage vs number of basic blocks (MRA). */
+std::string renderFig8(const ExperimentConfig &cfg, uint32_t packets);
+/** Fig. 9: data-memory access pattern while processing one packet. */
+std::string renderFig9(const ExperimentConfig &cfg);
+/** @} */
+
+} // namespace pb::an
+
+#endif // PB_ANALYSIS_EXPERIMENTS_HH

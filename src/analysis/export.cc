@@ -1,0 +1,63 @@
+/**
+ * @file
+ * CSV export implementation.
+ */
+
+#include "export.hh"
+
+#include <ostream>
+
+#include "sim/memmap.hh"
+
+namespace pb::an
+{
+
+void
+writeStatsCsv(std::ostream &out,
+              const std::vector<sim::PacketStats> &stats)
+{
+    out << "packet,insts,unique_insts,pkt_reads,pkt_writes,"
+           "nonpkt_reads,nonpkt_writes\n";
+    for (size_t i = 0; i < stats.size(); i++) {
+        const auto &s = stats[i];
+        out << i << ',' << s.instCount << ',' << s.uniqueInstCount
+            << ',' << s.packetReads << ',' << s.packetWrites << ','
+            << s.nonPacketReads << ',' << s.nonPacketWrites << '\n';
+    }
+}
+
+void
+writeSeriesCsv(std::ostream &out, const std::string &x_name,
+               const std::string &y_name,
+               const std::vector<std::pair<double, double>> &xy)
+{
+    out << x_name << ',' << y_name << '\n';
+    for (const auto &[x, y] : xy)
+        out << x << ',' << y << '\n';
+}
+
+void
+writeCoverageCsv(std::ostream &out,
+                 const std::vector<CoveragePoint> &curve)
+{
+    out << "blocks,coverage\n";
+    for (const auto &point : curve)
+        out << point.blocks << ',' << point.packetFraction << '\n';
+}
+
+void
+writeMemTraceCsv(std::ostream &out,
+                 const std::vector<sim::PacketStats::TracedAccess>
+                     &trace)
+{
+    out << "inst_index,region,rw,addr,size\n";
+    for (const auto &access : trace) {
+        out << access.instIndex << ','
+            << memRegionName(access.event.region) << ','
+            << (access.event.isStore ? 'W' : 'R') << ','
+            << access.event.addr << ','
+            << static_cast<unsigned>(access.event.size) << '\n';
+    }
+}
+
+} // namespace pb::an

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * CSV export of workload results.
+ *
+ * The bench binaries print human-readable tables; for plotting and
+ * downstream processing (the gnuplot figures of the paper), these
+ * helpers serialize per-packet statistics, data series, and
+ * coverage curves as CSV.
+ */
+
+#ifndef PB_ANALYSIS_EXPORT_HH
+#define PB_ANALYSIS_EXPORT_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "analysis/blockstats.hh"
+#include "sim/accounting.hh"
+
+namespace pb::an
+{
+
+/**
+ * Per-packet statistics as CSV with a header row:
+ * packet,insts,unique_insts,pkt_reads,pkt_writes,nonpkt_reads,
+ * nonpkt_writes.
+ */
+void writeStatsCsv(std::ostream &out,
+                   const std::vector<sim::PacketStats> &stats);
+
+/** Generic (x, y) series with custom column names. */
+void writeSeriesCsv(std::ostream &out, const std::string &x_name,
+                    const std::string &y_name,
+                    const std::vector<std::pair<double, double>> &xy);
+
+/** Coverage curve as CSV: blocks,coverage. */
+void writeCoverageCsv(std::ostream &out,
+                      const std::vector<CoveragePoint> &curve);
+
+/**
+ * One packet's memory-access trace as CSV:
+ * inst_index,region,rw,addr,size  (region: packet|data|stack|text).
+ */
+void writeMemTraceCsv(std::ostream &out,
+                      const std::vector<sim::PacketStats::TracedAccess>
+                          &trace);
+
+} // namespace pb::an
+
+#endif // PB_ANALYSIS_EXPORT_HH

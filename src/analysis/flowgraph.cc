@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Weighted flow graph implementation.
+ */
+
+#include "flowgraph.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace pb::an
+{
+
+WeightedFlowGraph::WeightedFlowGraph(const sim::BlockMap &blocks_)
+    : blocks(blocks_)
+{
+    entryCounts.assign(blocks.numBlocks(), 0);
+}
+
+void
+WeightedFlowGraph::addPacket(const std::vector<uint32_t> &inst_trace)
+{
+    if (inst_trace.empty())
+        return;
+    packetCount++;
+    uint32_t prev_addr = inst_trace[0];
+    uint32_t prev_block = blocks.blockOf(prev_addr);
+    entryCounts[prev_block]++;
+    for (size_t i = 1; i < inst_trace.size(); i++) {
+        uint32_t addr = inst_trace[i];
+        uint32_t block = blocks.blockOf(addr);
+        // A block boundary is crossed on any control transfer and on
+        // fall-through into the next block.
+        bool transfer = addr != prev_addr + 4;
+        if (transfer || block != prev_block) {
+            edgeCounts[{prev_block, block}]++;
+            entryCounts[block]++;
+        }
+        prev_addr = addr;
+        prev_block = block;
+    }
+}
+
+std::vector<FlowEdge>
+WeightedFlowGraph::edges() const
+{
+    std::vector<FlowEdge> out;
+    out.reserve(edgeCounts.size());
+    for (const auto &[key, count] : edgeCounts)
+        out.push_back({key.first, key.second, count});
+    std::stable_sort(out.begin(), out.end(),
+                     [](const FlowEdge &a, const FlowEdge &b) {
+                         return a.count > b.count;
+                     });
+    return out;
+}
+
+uint64_t
+WeightedFlowGraph::blockEntries(uint32_t id) const
+{
+    if (id >= entryCounts.size())
+        panic("flow graph: block id %u out of range", id);
+    return entryCounts[id];
+}
+
+std::string
+WeightedFlowGraph::toDot(const std::string &graph_name) const
+{
+    std::string out = "digraph " + graph_name + " {\n";
+    out += "  node [shape=box, fontname=\"monospace\"];\n";
+    for (uint32_t id = 0; id < blocks.numBlocks(); id++) {
+        if (entryCounts[id] == 0)
+            continue;
+        const sim::BasicBlock &block = blocks.block(id);
+        out += strprintf(
+            "  b%u [label=\"B%u @0x%x\\n%u insts, %llu entries\"];\n",
+            id, id, block.startAddr, block.numInsts,
+            static_cast<unsigned long long>(entryCounts[id]));
+    }
+    for (const auto &[key, count] : edgeCounts) {
+        bool hot = packetCount > 0 && count >= packetCount;
+        out += strprintf("  b%u -> b%u [label=\"%llu\"%s];\n",
+                         key.first, key.second,
+                         static_cast<unsigned long long>(count),
+                         hot ? "" : ", style=dashed");
+    }
+    out += "}\n";
+    return out;
+}
+
+} // namespace pb::an

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Instruction pattern analysis implementation.
+ */
+
+#include "instpattern.hh"
+
+#include <cstddef>
+#include <unordered_map>
+
+namespace pb::an
+{
+
+std::vector<uint32_t>
+uniqueIndexSeries(const std::vector<uint32_t> &inst_trace)
+{
+    std::unordered_map<uint32_t, uint32_t> first_touch;
+    first_touch.reserve(inst_trace.size());
+    std::vector<uint32_t> series;
+    series.reserve(inst_trace.size());
+    uint32_t next = 0;
+    for (uint32_t addr : inst_trace) {
+        auto [it, inserted] = first_touch.emplace(addr, next);
+        if (inserted)
+            next++;
+        series.push_back(it->second);
+    }
+    return series;
+}
+
+uint32_t
+countBackJumps(const std::vector<uint32_t> &series)
+{
+    uint32_t jumps = 0;
+    for (size_t i = 1; i < series.size(); i++) {
+        if (series[i] < series[i - 1])
+            jumps++;
+    }
+    return jumps;
+}
+
+} // namespace pb::an

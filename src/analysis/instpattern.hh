@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Intra-packet instruction pattern analysis (paper Fig. 6): each
+ * executed instruction address is assigned a unique index in first-
+ * execution order; plotting the index against execution time makes
+ * loops visible as horizontal overlaps.
+ */
+
+#ifndef PB_ANALYSIS_INSTPATTERN_HH
+#define PB_ANALYSIS_INSTPATTERN_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace pb::an
+{
+
+/**
+ * Map an instruction-address trace to unique first-touch indices.
+ *
+ * @param inst_trace executed addresses in order
+ * @return one index per executed instruction; index i < j iff the
+ *         instruction at i was first executed earlier
+ */
+std::vector<uint32_t>
+uniqueIndexSeries(const std::vector<uint32_t> &inst_trace);
+
+/**
+ * Number of (start, length) repetition segments: positions where the
+ * series goes backwards (a loop back-edge at instruction level).
+ */
+uint32_t countBackJumps(const std::vector<uint32_t> &series);
+
+} // namespace pb::an
+
+#endif // PB_ANALYSIS_INSTPATTERN_HH

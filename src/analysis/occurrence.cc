@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Occurrence analysis implementation.
+ */
+
+#include "occurrence.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.hh"
+
+namespace pb::an
+{
+
+OccurrenceSummary
+summarize(const std::vector<uint64_t> &values, size_t top_k)
+{
+    if (values.empty())
+        fatal("occurrence summary of an empty sample");
+
+    std::map<uint64_t, uint32_t> histogram;
+    double total = 0.0;
+    for (uint64_t v : values) {
+        histogram[v]++;
+        total += static_cast<double>(v);
+    }
+
+    OccurrenceSummary summary;
+    summary.samples = values.size();
+    summary.average = total / static_cast<double>(values.size());
+
+    auto pct_of = [&](uint32_t count) {
+        return 100.0 * count / static_cast<double>(values.size());
+    };
+
+    std::vector<Occurrence> all;
+    all.reserve(histogram.size());
+    for (auto [value, count] : histogram)
+        all.push_back({value, count, pct_of(count)});
+
+    summary.min = all.front();
+    summary.max = all.back();
+
+    std::stable_sort(all.begin(), all.end(),
+                     [](const Occurrence &a, const Occurrence &b) {
+                         return a.count > b.count;
+                     });
+    for (size_t i = 0; i < std::min(top_k, all.size()); i++)
+        summary.top.push_back(all[i]);
+    return summary;
+}
+
+} // namespace pb::an

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Occurrence analysis: the paper's Tables V and VI report, for a
+ * per-packet metric, the three most frequent values (with their
+ * share of packets), the minimum, maximum, and average.
+ */
+
+#ifndef PB_ANALYSIS_OCCURRENCE_HH
+#define PB_ANALYSIS_OCCURRENCE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pb::an
+{
+
+/** One value of the metric and how often it occurred. */
+struct Occurrence
+{
+    uint64_t value = 0;
+    uint32_t count = 0;
+    double pct = 0.0; ///< share of all samples, in percent
+};
+
+/** Summary in the shape of the paper's variation tables. */
+struct OccurrenceSummary
+{
+    std::vector<Occurrence> top; ///< most frequent first
+    Occurrence min;
+    Occurrence max;
+    double average = 0.0;
+    uint64_t samples = 0;
+};
+
+/**
+ * Summarize @p values.
+ * @param top_k how many most-frequent entries to keep
+ */
+OccurrenceSummary summarize(const std::vector<uint64_t> &values,
+                            size_t top_k = 3);
+
+} // namespace pb::an
+
+#endif // PB_ANALYSIS_OCCURRENCE_HH

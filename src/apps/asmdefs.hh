@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Shared assembly fragments and constants for the PacketBench
+ * applications.
+ *
+ * Every application program is NPE32 assembly generated at setup()
+ * time; the .equ constants are emitted from the same C++ constants
+ * the host-side builders use, so the two sides cannot drift.
+ */
+
+#ifndef PB_APPS_ASMDEFS_HH
+#define PB_APPS_ASMDEFS_HH
+
+#include <string>
+
+#include "common/logging.hh"
+#include "sim/memmap.hh"
+
+namespace pb::apps
+{
+
+/** Base address where applications place their tables. */
+constexpr uint32_t appDataBase = sim::layout::dataBase;
+
+/** Common .equ preamble: SYS codes and the packet memory base. */
+inline std::string
+asmPreamble()
+{
+    return strprintf(
+        ".equ SYS_SEND, 1\n"
+        ".equ SYS_DROP, 2\n"
+        ".equ PKT, 0x%08x\n",
+        sim::layout::packetBase);
+}
+
+/**
+ * RFC 1812 ingress validation shared by the forwarding apps
+ * (optimized style, used by IPv4-trie):
+ *  - IPv4 version and IHL check,
+ *  - full header-checksum verification,
+ *  - TTL > 1 check,
+ *  - destination address extraction.
+ *
+ * On fall-through: t1 = destination address (host order), packet
+ * valid.  Jumps to `drop` otherwise.  Clobbers t0, t2, t3, at.
+ */
+inline std::string
+asmRfc1812Validate()
+{
+    return R"(
+        # ---- RFC1812: version / IHL ----
+        lbu  t0, 0(a0)
+        srli t2, t0, 4
+        li   at, 4
+        bne  t2, at, drop
+        andi t2, t0, 15
+        li   at, 5
+        blt  t2, at, drop
+        # ---- RFC1812: verify header checksum ----
+        li   t0, 0              # sum
+        li   t2, 0              # i
+        move t3, a0
+cksum_verify:
+        lhu  at, 0(t3)
+        add  t0, t0, at
+        addi t3, t3, 2
+        addi t2, t2, 1
+        li   at, 10
+        blt  t2, at, cksum_verify
+        srli at, t0, 16
+        andi t0, t0, 0xffff
+        add  t0, t0, at
+        srli at, t0, 16
+        andi t0, t0, 0xffff
+        add  t0, t0, at
+        li   at, 0xffff
+        bne  t0, at, drop
+        # ---- RFC1812: TTL must be > 1 ----
+        lbu  t0, 8(a0)
+        li   at, 1
+        bleu t0, at, drop
+        # ---- RFC1812: martian source (0/8, 127/8) ----
+        lbu  t0, 12(a0)
+        beqz t0, drop
+        li   at, 127
+        beq  t0, at, drop
+        # ---- destination address (network byte order) ----
+        lbu  t1, 16(a0)
+        slli t1, t1, 8
+        lbu  at, 17(a0)
+        or   t1, t1, at
+        slli t1, t1, 8
+        lbu  at, 18(a0)
+        or   t1, t1, at
+        slli t1, t1, 8
+        lbu  at, 19(a0)
+        or   t1, t1, at
+        # ---- RFC1812: do not forward multicast (224/4) ----
+        srli t0, t1, 28
+        li   at, 0xe
+        beq  t0, at, drop
+)";
+}
+
+/**
+ * RFC 1812 egress: decrement TTL and recompute the header checksum,
+ * then send on the interface in a1.  Clobbers t0, t2, t3, at.
+ */
+inline std::string
+asmRfc1812Forward()
+{
+    return R"(
+        # ---- decrement TTL ----
+        lbu  t0, 8(a0)
+        addi t0, t0, -1
+        sb   t0, 8(a0)
+        # ---- recompute header checksum ----
+        sb   zero, 10(a0)
+        sb   zero, 11(a0)
+        li   t0, 0
+        li   t2, 0
+        move t3, a0
+cksum_fill:
+        lhu  at, 0(t3)
+        add  t0, t0, at
+        addi t3, t3, 2
+        addi t2, t2, 1
+        li   at, 10
+        blt  t2, at, cksum_fill
+        srli at, t0, 16
+        andi t0, t0, 0xffff
+        add  t0, t0, at
+        srli at, t0, 16
+        andi t0, t0, 0xffff
+        add  t0, t0, at
+        li   at, 0xffff
+        xor  t0, t0, at         # one's complement
+        sh   t0, 10(a0)
+        sys  SYS_SEND
+drop:
+        sys  SYS_DROP
+)";
+}
+
+} // namespace pb::apps
+
+#endif // PB_APPS_ASMDEFS_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Bit-manipulation helpers used across the ISA, routing, and
+ * anonymization code.
+ */
+
+#ifndef PB_COMMON_BITOPS_HH
+#define PB_COMMON_BITOPS_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace pb
+{
+
+/**
+ * Extract the bit field [lo, lo+len) from @p value, counting bit 0 as
+ * the least-significant bit.
+ */
+constexpr uint32_t
+bits(uint32_t value, unsigned lo, unsigned len)
+{
+    if (len == 0)
+        return 0;
+    if (len >= 32)
+        return value >> lo;
+    return (value >> lo) & ((1u << len) - 1);
+}
+
+/** Extract a single bit. */
+constexpr uint32_t
+bit(uint32_t value, unsigned pos)
+{
+    return (value >> pos) & 1u;
+}
+
+/** Insert @p field into bits [lo, lo+len) of @p value. */
+constexpr uint32_t
+insertBits(uint32_t value, unsigned lo, unsigned len, uint32_t field)
+{
+    uint32_t mask = (len >= 32) ? ~0u : ((1u << len) - 1u);
+    return (value & ~(mask << lo)) | ((field & mask) << lo);
+}
+
+/** Sign-extend the low @p len bits of @p value to 32 bits. */
+constexpr int32_t
+sext(uint32_t value, unsigned len)
+{
+    unsigned shift = 32 - len;
+    return static_cast<int32_t>(value << shift) >> shift;
+}
+
+/** True if @p value is a multiple of @p align (align must be pow2). */
+constexpr bool
+isAligned(uint32_t value, uint32_t align)
+{
+    return (value & (align - 1)) == 0;
+}
+
+/** Round @p value up to the next multiple of @p align (pow2). */
+constexpr uint32_t
+roundUp(uint32_t value, uint32_t align)
+{
+    return (value + align - 1) & ~(align - 1);
+}
+
+/**
+ * Network-prefix mask: the 32-bit mask with the top @p len bits set.
+ * prefixMask(0) == 0, prefixMask(32) == 0xffffffff.
+ */
+constexpr uint32_t
+prefixMask(unsigned len)
+{
+    return len == 0 ? 0u : ~0u << (32 - len);
+}
+
+/**
+ * Length of the longest common prefix of two 32-bit values, viewing
+ * bit 31 as the first bit (network order).
+ */
+constexpr unsigned
+commonPrefixLen(uint32_t a, uint32_t b)
+{
+    uint32_t diff = a ^ b;
+    return diff == 0 ? 32 : static_cast<unsigned>(std::countl_zero(diff));
+}
+
+/** Number of set bits. */
+constexpr unsigned
+popCount(uint32_t value)
+{
+    return static_cast<unsigned>(std::popcount(value));
+}
+
+} // namespace pb
+
+#endif // PB_COMMON_BITOPS_HH

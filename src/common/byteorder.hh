@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Byte-order helpers for serializing and parsing packet headers and
+ * trace files.  Packets are big-endian on the wire; pcap files use
+ * the byte order recorded in their magic number.
+ */
+
+#ifndef PB_COMMON_BYTEORDER_HH
+#define PB_COMMON_BYTEORDER_HH
+
+#include <cstdint>
+#include <cstring>
+
+namespace pb
+{
+
+/** Read a big-endian 16-bit value from a byte buffer. */
+inline uint16_t
+loadBe16(const uint8_t *p)
+{
+    return static_cast<uint16_t>((p[0] << 8) | p[1]);
+}
+
+/** Read a big-endian 32-bit value from a byte buffer. */
+inline uint32_t
+loadBe32(const uint8_t *p)
+{
+    return (static_cast<uint32_t>(p[0]) << 24) |
+           (static_cast<uint32_t>(p[1]) << 16) |
+           (static_cast<uint32_t>(p[2]) << 8) |
+           static_cast<uint32_t>(p[3]);
+}
+
+/** Write a big-endian 16-bit value to a byte buffer. */
+inline void
+storeBe16(uint8_t *p, uint16_t v)
+{
+    p[0] = static_cast<uint8_t>(v >> 8);
+    p[1] = static_cast<uint8_t>(v);
+}
+
+/** Write a big-endian 32-bit value to a byte buffer. */
+inline void
+storeBe32(uint8_t *p, uint32_t v)
+{
+    p[0] = static_cast<uint8_t>(v >> 24);
+    p[1] = static_cast<uint8_t>(v >> 16);
+    p[2] = static_cast<uint8_t>(v >> 8);
+    p[3] = static_cast<uint8_t>(v);
+}
+
+/** Read a little-endian 16-bit value from a byte buffer. */
+inline uint16_t
+loadLe16(const uint8_t *p)
+{
+    return static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+
+/** Read a little-endian 32-bit value from a byte buffer. */
+inline uint32_t
+loadLe32(const uint8_t *p)
+{
+    return static_cast<uint32_t>(p[0]) |
+           (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+}
+
+/** Write a little-endian 16-bit value to a byte buffer. */
+inline void
+storeLe16(uint8_t *p, uint16_t v)
+{
+    p[0] = static_cast<uint8_t>(v);
+    p[1] = static_cast<uint8_t>(v >> 8);
+}
+
+/** Write a little-endian 32-bit value to a byte buffer. */
+inline void
+storeLe32(uint8_t *p, uint32_t v)
+{
+    p[0] = static_cast<uint8_t>(v);
+    p[1] = static_cast<uint8_t>(v >> 8);
+    p[2] = static_cast<uint8_t>(v >> 16);
+    p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+/** Byte-swap a 16-bit value. */
+constexpr uint16_t
+bswap16(uint16_t v)
+{
+    return static_cast<uint16_t>((v << 8) | (v >> 8));
+}
+
+/** Byte-swap a 32-bit value. */
+constexpr uint32_t
+bswap32(uint32_t v)
+{
+    return ((v & 0x000000ffu) << 24) | ((v & 0x0000ff00u) << 8) |
+           ((v & 0x00ff0000u) >> 8) | ((v & 0xff000000u) >> 24);
+}
+
+} // namespace pb
+
+#endif // PB_COMMON_BYTEORDER_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Hash function implementations.
+ */
+
+#include "hash.hh"
+
+#include <array>
+
+namespace pb
+{
+
+uint32_t
+jenkinsOaat(const uint8_t *data, size_t len, uint32_t seed)
+{
+    uint32_t hash = seed;
+    for (size_t i = 0; i < len; i++) {
+        hash += data[i];
+        hash += hash << 10;
+        hash ^= hash >> 6;
+    }
+    hash += hash << 3;
+    hash ^= hash >> 11;
+    hash += hash << 15;
+    return hash;
+}
+
+uint32_t
+fnv1a32(const uint8_t *data, size_t len)
+{
+    uint32_t hash = 0x811c9dc5u;
+    for (size_t i = 0; i < len; i++) {
+        hash ^= data[i];
+        hash *= 0x01000193u;
+    }
+    return hash;
+}
+
+namespace
+{
+
+/** Build the reflected CRC-32 lookup table at static-init time. */
+std::array<uint32_t, 256>
+makeCrcTable()
+{
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; i++) {
+        uint32_t c = i;
+        for (int k = 0; k < 8; k++)
+            c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+const std::array<uint32_t, 256> crcTable = makeCrcTable();
+
+} // namespace
+
+const uint32_t *
+crc32Table()
+{
+    return crcTable.data();
+}
+
+uint32_t
+crc32(const uint8_t *data, size_t len, uint32_t seed)
+{
+    uint32_t c = seed ^ 0xffffffffu;
+    for (size_t i = 0; i < len; i++)
+        c = crcTable[(c ^ data[i]) & 0xffu] ^ (c >> 8);
+    return c ^ 0xffffffffu;
+}
+
+} // namespace pb

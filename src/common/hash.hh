@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Deterministic hash functions.
+ *
+ * These are used (a) by the flow classifier for 5-tuple hashing,
+ * (b) by the TSA anonymizer as its pseudo-random function, and
+ * (c) by the address scrambler's Feistel rounds.  All are portable
+ * and seed-stable so that simulation results are reproducible.
+ */
+
+#ifndef PB_COMMON_HASH_HH
+#define PB_COMMON_HASH_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pb
+{
+
+/** Jenkins one-at-a-time hash over a byte buffer. */
+uint32_t jenkinsOaat(const uint8_t *data, size_t len, uint32_t seed = 0);
+
+/** FNV-1a 32-bit hash over a byte buffer. */
+uint32_t fnv1a32(const uint8_t *data, size_t len);
+
+/** CRC-32 (IEEE 802.3 polynomial, reflected) over a byte buffer. */
+uint32_t crc32(const uint8_t *data, size_t len, uint32_t seed = 0);
+
+/**
+ * The 256-entry lookup table crc32() uses (reflected IEEE
+ * polynomial).  Exposed so the CRC payload application can install
+ * the identical table in simulated memory.
+ */
+const uint32_t *crc32Table();
+
+/**
+ * Strong 32-bit integer mixer (murmur3 finalizer).  Bijective — every
+ * 32-bit input maps to a distinct output — which makes it suitable as
+ * a Feistel round function input conditioner and as a cheap PRF core.
+ */
+constexpr uint32_t
+mix32(uint32_t x)
+{
+    x ^= x >> 16;
+    x *= 0x85ebca6bu;
+    x ^= x >> 13;
+    x *= 0xc2b2ae35u;
+    x ^= x >> 16;
+    return x;
+}
+
+/** Mix two 32-bit values into one (order-sensitive). */
+constexpr uint32_t
+mix32(uint32_t a, uint32_t b)
+{
+    return mix32(mix32(a) + 0x9e3779b9u + (b << 6) + (b >> 2) + b);
+}
+
+/**
+ * Keyed pseudo-random function: PRF_key(x).  Not cryptographic, but
+ * statistically well distributed and deterministic; used where the
+ * paper's TSA algorithm calls for a keyed hash.
+ */
+constexpr uint32_t
+prf32(uint32_t key, uint32_t x)
+{
+    return mix32(mix32(x ^ (key * 0x9e3779b9u)) + key);
+}
+
+} // namespace pb
+
+#endif // PB_COMMON_HASH_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Error handling and status-message helpers for PacketBench.
+ *
+ * Two kinds of failure, following the gem5 convention:
+ *  - fatal(): the user did something wrong (bad trace file, bad CLI
+ *    argument).  Raises FatalError, which tool main()s catch and turn
+ *    into exit(1).
+ *  - panic(): PacketBench itself is broken (violated internal
+ *    invariant).  Raises PanicError.
+ *
+ * Library code that detects recoverable, typed problems (e.g. a
+ * simulated program touching unmapped memory) should throw a domain
+ * error derived from pb::Error instead, so tests can assert on it.
+ */
+
+#ifndef PB_COMMON_LOGGING_HH
+#define PB_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <stdexcept>
+#include <string>
+
+namespace pb
+{
+
+/** Base class for all PacketBench errors. */
+class Error : public std::runtime_error
+{
+  public:
+    explicit Error(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** User-caused, unrecoverable error (bad input, bad configuration). */
+class FatalError : public Error
+{
+  public:
+    explicit FatalError(const std::string &msg) : Error(msg) {}
+};
+
+/** Internal invariant violation — a PacketBench bug. */
+class PanicError : public Error
+{
+  public:
+    explicit PanicError(const std::string &msg) : Error(msg) {}
+};
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** va_list flavour of strprintf(). */
+std::string vstrprintf(const char *fmt, va_list ap);
+
+/** Report a user error and throw FatalError. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report an internal bug and throw PanicError. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Non-fatal warning on stderr. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Informational message on stderr. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Globally silence warn()/inform() (used by benchmarks). */
+void setQuiet(bool quiet);
+
+} // namespace pb
+
+#endif // PB_COMMON_LOGGING_HH

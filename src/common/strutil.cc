@@ -1,0 +1,157 @@
+/**
+ * @file
+ * String utility implementations.
+ */
+
+#include "strutil.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "logging.hh"
+
+namespace pb
+{
+
+std::string_view
+trim(std::string_view s)
+{
+    size_t b = 0;
+    size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        b++;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        e--;
+    return s.substr(b, e - b);
+}
+
+std::vector<std::string>
+split(std::string_view s, char delim)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (true) {
+        size_t pos = s.find(delim, start);
+        if (pos == std::string_view::npos) {
+            out.emplace_back(s.substr(start));
+            return out;
+        }
+        out.emplace_back(s.substr(start, pos - start));
+        start = pos + 1;
+    }
+}
+
+std::vector<std::string>
+splitWs(std::string_view s)
+{
+    std::vector<std::string> out;
+    size_t i = 0;
+    while (i < s.size()) {
+        while (i < s.size() &&
+               std::isspace(static_cast<unsigned char>(s[i])))
+            i++;
+        size_t start = i;
+        while (i < s.size() &&
+               !std::isspace(static_cast<unsigned char>(s[i])))
+            i++;
+        if (i > start)
+            out.emplace_back(s.substr(start, i - start));
+    }
+    return out;
+}
+
+bool
+startsWith(std::string_view s, std::string_view prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.substr(0, prefix.size()) == prefix;
+}
+
+std::string
+toLower(std::string_view s)
+{
+    std::string out(s);
+    for (char &c : out)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+std::optional<int64_t>
+parseInt(std::string_view s)
+{
+    s = trim(s);
+    if (s.empty())
+        return std::nullopt;
+    bool neg = false;
+    if (s[0] == '-') {
+        neg = true;
+        s.remove_prefix(1);
+        if (s.empty())
+            return std::nullopt;
+    }
+    int base = 10;
+    if (s.size() > 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+        base = 16;
+        s.remove_prefix(2);
+    }
+    uint64_t value = 0;
+    for (char c : s) {
+        int digit;
+        if (c >= '0' && c <= '9')
+            digit = c - '0';
+        else if (base == 16 && c >= 'a' && c <= 'f')
+            digit = c - 'a' + 10;
+        else if (base == 16 && c >= 'A' && c <= 'F')
+            digit = c - 'A' + 10;
+        else
+            return std::nullopt;
+        uint64_t next = value * base + static_cast<uint64_t>(digit);
+        if (next < value) // overflow
+            return std::nullopt;
+        value = next;
+    }
+    if (value > static_cast<uint64_t>(INT64_MAX))
+        return std::nullopt;
+    int64_t signed_value = static_cast<int64_t>(value);
+    return neg ? -signed_value : signed_value;
+}
+
+std::optional<uint32_t>
+parseIpv4(std::string_view s)
+{
+    auto parts = split(s, '.');
+    if (parts.size() != 4)
+        return std::nullopt;
+    uint32_t addr = 0;
+    for (const auto &part : parts) {
+        auto v = parseInt(part);
+        if (!v || *v < 0 || *v > 255)
+            return std::nullopt;
+        addr = (addr << 8) | static_cast<uint32_t>(*v);
+    }
+    return addr;
+}
+
+std::string
+formatIpv4(uint32_t addr)
+{
+    return strprintf("%u.%u.%u.%u", (addr >> 24) & 0xff,
+                     (addr >> 16) & 0xff, (addr >> 8) & 0xff, addr & 0xff);
+}
+
+std::string
+withCommas(uint64_t value)
+{
+    std::string digits = std::to_string(value);
+    std::string out;
+    int count = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (count != 0 && count % 3 == 0)
+            out.push_back(',');
+        out.push_back(*it);
+        count++;
+    }
+    return std::string(out.rbegin(), out.rend());
+}
+
+} // namespace pb

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Small string utilities used by the assembler, table loaders, and
+ * command-line parsing in benches and examples.
+ */
+
+#ifndef PB_COMMON_STRUTIL_HH
+#define PB_COMMON_STRUTIL_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pb
+{
+
+/** Strip leading and trailing whitespace. */
+std::string_view trim(std::string_view s);
+
+/** Split on a single character delimiter; empty fields preserved. */
+std::vector<std::string> split(std::string_view s, char delim);
+
+/** Split on runs of whitespace; no empty fields. */
+std::vector<std::string> splitWs(std::string_view s);
+
+/** True if @p s starts with @p prefix. */
+bool startsWith(std::string_view s, std::string_view prefix);
+
+/** Lower-case an ASCII string. */
+std::string toLower(std::string_view s);
+
+/**
+ * Parse an integer with optional 0x prefix and optional leading '-'.
+ * Returns nullopt on any malformed input or overflow past 64 bits.
+ */
+std::optional<int64_t> parseInt(std::string_view s);
+
+/** Parse a dotted-quad IPv4 address into host byte order. */
+std::optional<uint32_t> parseIpv4(std::string_view s);
+
+/** Format a host-order IPv4 address as a dotted quad. */
+std::string formatIpv4(uint32_t addr);
+
+/** Thousands-separated decimal formatting, e.g. 4643333 -> 4,643,333. */
+std::string withCommas(uint64_t value);
+
+} // namespace pb
+
+#endif // PB_COMMON_STRUTIL_HH

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Text table renderer implementation.
+ */
+
+#include "texttable.hh"
+
+#include "logging.hh"
+
+namespace pb
+{
+
+TextTable::TextTable(std::vector<Align> aligns_) : aligns(std::move(aligns_))
+{
+    if (aligns.empty())
+        panic("TextTable: no columns");
+}
+
+TextTable::TextTable(size_t ncols)
+{
+    if (ncols == 0)
+        panic("TextTable: no columns");
+    aligns.assign(ncols, Align::Right);
+    aligns[0] = Align::Left;
+}
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    if (cells.size() != aligns.size())
+        panic("TextTable::header: got %zu cells, want %zu", cells.size(),
+              aligns.size());
+    head = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    if (cells.size() != aligns.size())
+        panic("TextTable::row: got %zu cells, want %zu", cells.size(),
+              aligns.size());
+    rows.push_back({std::move(cells), false});
+}
+
+void
+TextTable::rule()
+{
+    rows.push_back({{}, true});
+}
+
+std::string
+TextTable::render() const
+{
+    size_t ncols = aligns.size();
+    std::vector<size_t> widths(ncols, 0);
+    auto measure = [&](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < cells.size(); i++)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    if (!head.empty())
+        measure(head);
+    for (const auto &r : rows) {
+        if (!r.isRule)
+            measure(r.cells);
+    }
+
+    size_t total = 0;
+    for (size_t w : widths)
+        total += w;
+    total += 2 * (ncols - 1);
+
+    auto renderRow = [&](const std::vector<std::string> &cells,
+                         std::string &out) {
+        for (size_t i = 0; i < ncols; i++) {
+            size_t pad = widths[i] - cells[i].size();
+            if (aligns[i] == Align::Right)
+                out.append(pad, ' ');
+            out += cells[i];
+            if (aligns[i] == Align::Left && i + 1 < ncols)
+                out.append(pad, ' ');
+            if (i + 1 < ncols)
+                out.append(2, ' ');
+        }
+        out += '\n';
+    };
+
+    std::string out;
+    if (!head.empty()) {
+        renderRow(head, out);
+        out.append(total, '-');
+        out += '\n';
+    }
+    for (const auto &r : rows) {
+        if (r.isRule) {
+            out.append(total, '-');
+            out += '\n';
+        } else {
+            renderRow(r.cells, out);
+        }
+    }
+    return out;
+}
+
+} // namespace pb

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Plain-text table renderer.
+ *
+ * The benchmark harness reproduces the paper's tables as aligned text
+ * on stdout; this class handles column sizing and alignment.
+ */
+
+#ifndef PB_COMMON_TEXTTABLE_HH
+#define PB_COMMON_TEXTTABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace pb
+{
+
+/** Column-aligned text table with an optional header rule. */
+class TextTable
+{
+  public:
+    /** Column alignment. */
+    enum class Align { Left, Right };
+
+    /** Create a table with one alignment entry per column. */
+    explicit TextTable(std::vector<Align> aligns);
+
+    /** Convenience: @p ncols columns, first left, rest right. */
+    explicit TextTable(size_t ncols);
+
+    /** Set the header row (rendered with a separator rule below). */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row; must match the column count. */
+    void row(std::vector<std::string> cells);
+
+    /** Append a horizontal rule. */
+    void rule();
+
+    /** Render the table to a string. */
+    std::string render() const;
+
+  private:
+    struct Row
+    {
+        std::vector<std::string> cells;
+        bool isRule = false;
+    };
+
+    std::vector<Align> aligns;
+    std::vector<std::string> head;
+    std::vector<Row> rows;
+};
+
+} // namespace pb
+
+#endif // PB_COMMON_TEXTTABLE_HH

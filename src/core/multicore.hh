@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Multi-engine simulation: one application replicated across N
+ * processing engines with flow-pinned dispatch.
+ *
+ * Network processors exploit packet-level parallelism by running the
+ * same application on many engines (paper Section I and its
+ * reference [31], "Pipelining vs. multiprocessors").  Stateful
+ * applications require packets of one flow to visit the same engine
+ * (flow pinning), so the dispatcher hashes the 5-tuple.  This class
+ * instantiates N independent simulated machines — each with its own
+ * memory and application state — and reports the resulting load
+ * balance, which bounds the achievable speedup.
+ */
+
+#ifndef PB_CORE_MULTICORE_HH
+#define PB_CORE_MULTICORE_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/packetbench.hh"
+
+namespace pb::core
+{
+
+/** Per-engine totals after a multi-engine run. */
+struct EngineLoad
+{
+    uint64_t packets = 0;
+    uint64_t instructions = 0;
+};
+
+/** Result of a multi-engine run. */
+struct MultiCoreResult
+{
+    std::vector<EngineLoad> engines;
+    uint64_t totalPackets = 0;
+    uint64_t totalInstructions = 0;
+
+    /** Max engine instructions / mean engine instructions (>= 1). */
+    double imbalance() const;
+
+    /**
+     * Speedup over one engine under run-to-completion: total work
+     * divided by the most loaded engine's work.
+     */
+    double speedup() const;
+};
+
+/** N replicated engines with flow-pinned packet dispatch. */
+class MultiCoreBench
+{
+  public:
+    /** Factory for per-engine application instances. */
+    using AppFactory =
+        std::function<std::unique_ptr<Application>()>;
+
+    /**
+     * @param factory     creates one application per engine (each
+     *                    engine owns independent state)
+     * @param num_engines number of processing engines
+     * @param cfg         per-engine framework configuration
+     */
+    MultiCoreBench(const AppFactory &factory, uint32_t num_engines,
+                   BenchConfig cfg = {});
+
+    /**
+     * Dispatch one packet: 5-tuple-hashed to an engine (non-IPv4
+     * packets go to engine 0) and processed there.
+     * @return the engine index used
+     */
+    uint32_t processPacket(net::Packet &packet);
+
+    /** Run up to @p max_packets from @p source. */
+    MultiCoreResult run(net::TraceSource &source,
+                        uint32_t max_packets);
+
+    /** Result so far. */
+    MultiCoreResult result() const;
+
+    uint32_t numEngines() const
+    {
+        return static_cast<uint32_t>(engines.size());
+    }
+
+    /** Access one engine's machine (for state inspection). */
+    PacketBench &engine(uint32_t index) { return *engines.at(index); }
+
+  private:
+    std::vector<std::unique_ptr<Application>> apps;
+    std::vector<std::unique_ptr<PacketBench>> engines;
+    std::vector<EngineLoad> loads;
+};
+
+} // namespace pb::core
+
+#endif // PB_CORE_MULTICORE_HH

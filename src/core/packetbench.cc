@@ -1,0 +1,97 @@
+/**
+ * @file
+ * PacketBench framework implementation.
+ */
+
+#include "packetbench.hh"
+
+#include "sim/memmap.hh"
+
+namespace pb::core
+{
+
+PacketBench::PacketBench(Application &app_, BenchConfig cfg_)
+    : app(app_), cpu(mem), scrambler(cfg_.scrambleKey)
+{
+    cfg = cfg_;
+    // init(): application builds its tables (unaccounted).
+    isa::Program prog = app.setup(mem);
+    cpu.loadProgram(prog);
+    entry = prog.entry("main");
+
+    blockMap = std::make_unique<sim::BlockMap>(prog);
+    rec = std::make_unique<sim::PacketRecorder>(prog, *blockMap,
+                                                cfg.recorder);
+    fanout.add(rec.get());
+    if (cfg.microArch) {
+        uarch = std::make_unique<sim::MicroArchModel>();
+        fanout.add(uarch.get());
+    }
+    if (cfg.timing) {
+        timer = std::make_unique<sim::PipelineTimer>(cfg.timingParams);
+        fanout.add(timer.get());
+    }
+}
+
+PacketOutcome
+PacketBench::processPacket(net::Packet &packet)
+{
+    if (cfg.scramble)
+        scrambler.scramblePacket(packet);
+
+    // Place the packet (from the L3 header onwards) into simulated
+    // packet memory.  Framework work: not accounted.
+    uint16_t l3_len = packet.l3Len();
+    if (l3_len == 0)
+        fatal("packet with no layer-3 bytes reached the framework");
+    if (l3_len > sim::layout::packetSize)
+        fatal("packet larger than simulated packet memory");
+    mem.fill(sim::layout::packetBase,
+             std::min<uint32_t>(sim::layout::packetSize, 2048));
+    mem.writeBlock(sim::layout::packetBase, packet.l3(), l3_len);
+
+    // Selective accounting: the observer is active only while the
+    // application's handler runs.
+    cpu.resetRegs();
+    cpu.setReg(isa::regA0, sim::layout::packetBase);
+    cpu.setReg(isa::regA1, l3_len);
+    cpu.setObserver(&fanout);
+    rec->beginPacket();
+    if (timer)
+        timer->mark();
+    sim::RunResult result = cpu.run(entry, cfg.instBudget);
+    PacketOutcome outcome;
+    outcome.stats = rec->endPacket();
+    if (timer)
+        outcome.cycles = timer->cyclesSinceMark();
+    cpu.setObserver(nullptr);
+
+    outcome.verdict = result.stopCode;
+    outcome.outInterface = result.stopArg;
+    packetCount++;
+
+    if (outcome.verdict == isa::SysCode::Send) {
+        // Copy the (possibly rewritten) packet back out.
+        mem.readBlock(sim::layout::packetBase, packet.l3(), l3_len);
+    }
+    return outcome;
+}
+
+std::vector<PacketOutcome>
+PacketBench::run(net::TraceSource &source, uint32_t max_packets,
+                 net::TraceSink *sink)
+{
+    std::vector<PacketOutcome> outcomes;
+    outcomes.reserve(max_packets);
+    for (uint32_t i = 0; i < max_packets; i++) {
+        auto packet = source.next();
+        if (!packet)
+            break;
+        outcomes.push_back(processPacket(*packet));
+        if (sink && outcomes.back().verdict == isa::SysCode::Send)
+            sink->write(*packet);
+    }
+    return outcomes;
+}
+
+} // namespace pb::core

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The PacketBench framework: runs applications over packet traces on
+ * the NPE32 simulator and collects per-packet workload statistics.
+ *
+ * Framework responsibilities (paper Section III-A):
+ *  - read packets from a trace source and place them in simulated
+ *    packet memory (unaccounted — specialized hardware does this on
+ *    a real NP),
+ *  - optionally preprocess (IP address scrambling, Section IV-B),
+ *  - invoke the application's packet handler on the simulated core
+ *    with *selective accounting* enabled,
+ *  - collect the SEND/DROP verdict and per-packet statistics,
+ *  - optionally write accepted packets to an output trace.
+ */
+
+#ifndef PB_CORE_PACKETBENCH_HH
+#define PB_CORE_PACKETBENCH_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/app.hh"
+#include "net/scramble.hh"
+#include "net/trace.hh"
+#include "sim/accounting.hh"
+#include "sim/cpu.hh"
+#include "sim/timing.hh"
+#include "sim/uarch.hh"
+
+namespace pb::core
+{
+
+/** Framework configuration. */
+struct BenchConfig
+{
+    /** Per-packet detail level. */
+    sim::RecorderConfig recorder;
+
+    /** Per-packet instruction budget (runaway guard). */
+    uint64_t instBudget = 10'000'000;
+
+    /**
+     * Scramble IP addresses before processing (the paper's
+     * preprocessing for NLANR traces).
+     */
+    bool scramble = false;
+    uint32_t scrambleKey = 0x5ca1ab1e;
+
+    /** Attach the microarchitectural models (caches, predictor). */
+    bool microArch = false;
+
+    /** Attach the pipeline timing model (per-packet cycle counts). */
+    bool timing = false;
+    sim::TimingParams timingParams;
+};
+
+/** Outcome of processing one packet. */
+struct PacketOutcome
+{
+    sim::PacketStats stats;
+    isa::SysCode verdict = isa::SysCode::Drop;
+    uint32_t outInterface = 0; ///< a1 at SYS SEND
+    uint64_t cycles = 0;       ///< modeled cycles (0 unless timing)
+};
+
+/** One application instance bound to a simulated core. */
+class PacketBench
+{
+  public:
+    /**
+     * Set up @p app on a fresh simulated machine.
+     * The application object must outlive the framework.
+     */
+    explicit PacketBench(Application &app, BenchConfig cfg = {});
+
+    /**
+     * Process one packet and return its statistics and verdict.
+     * Accepted packets (SEND) have their possibly-modified bytes
+     * copied back into @p packet, so callers can chain into a
+     * TraceSink (the paper's write_packet_to_file()).
+     */
+    PacketOutcome processPacket(net::Packet &packet);
+
+    /**
+     * Process up to @p max_packets from @p source.
+     * @param sink if non-null, packets the application sent are
+     *             appended to this trace
+     */
+    std::vector<PacketOutcome> run(net::TraceSource &source,
+                                   uint32_t max_packets,
+                                   net::TraceSink *sink = nullptr);
+
+    /** @name Component access for analyses and tests. @{ */
+    const sim::BlockMap &blocks() const { return *blockMap; }
+    const sim::PacketRecorder &recorder() const { return *rec; }
+    const sim::MicroArchModel *microArch() const { return uarch.get(); }
+    const sim::PipelineTimer *timing() const { return timer.get(); }
+    sim::Memory &memory() { return mem; }
+    const isa::Program &program() const { return cpu.program(); }
+    uint64_t packetsProcessed() const { return packetCount; }
+    /** @} */
+
+  private:
+    Application &app;
+    BenchConfig cfg;
+    sim::Memory mem;
+    sim::Cpu cpu;
+    std::unique_ptr<sim::BlockMap> blockMap;
+    std::unique_ptr<sim::PacketRecorder> rec;
+    std::unique_ptr<sim::MicroArchModel> uarch;
+    std::unique_ptr<sim::PipelineTimer> timer;
+    sim::FanoutObserver fanout;
+    net::AddressScrambler scrambler;
+    uint32_t entry = 0;
+    uint64_t packetCount = 0;
+};
+
+} // namespace pb::core
+
+#endif // PB_CORE_PACKETBENCH_HH

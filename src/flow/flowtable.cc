@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Host flow-table implementation.
+ */
+
+#include "flowtable.hh"
+
+#include "common/logging.hh"
+
+namespace pb::flow
+{
+
+FlowTable::FlowTable(uint32_t num_buckets) : numBuckets(num_buckets)
+{
+    if (num_buckets == 0 || (num_buckets & (num_buckets - 1)) != 0)
+        fatal("FlowTable: bucket count must be a power of two");
+}
+
+bool
+FlowTable::update(const net::FiveTuple &tuple, uint32_t packet_bytes)
+{
+    auto [it, inserted] = flows.try_emplace(tuple);
+    it->second.packets++;
+    it->second.bytes += packet_bytes;
+    return inserted;
+}
+
+std::optional<FlowStats>
+FlowTable::lookup(const net::FiveTuple &tuple) const
+{
+    auto it = flows.find(tuple);
+    if (it == flows.end())
+        return std::nullopt;
+    return it->second;
+}
+
+} // namespace pb::flow

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * 5-tuple flow classification (the paper's Flow Classification
+ * workload): packets are classified into flows keyed by source and
+ * destination address, ports, and protocol; the 5-tuple hashes into
+ * a bucket array with chained collision resolution.
+ *
+ * The host FlowTable is the behavioral reference for the NPE32
+ * application; hashTuple() defines the exact hash both sides use.
+ *
+ * Simulated memory layout (base = flow-table region start):
+ *   +0                 allocNext: address of the next free heap node
+ *   +4                 flowCount
+ *   +8                 (pad)
+ *   +12                (pad)
+ *   +16                bucket array: numBuckets x 4-byte head pointer
+ *   +16+4*numBuckets   node heap
+ *
+ * Node layout (32 bytes):
+ *   +0 src   +4 dst   +8 (srcPort<<16)|dstPort   +12 proto
+ *   +16 packet count   +20 byte count   +24 next   +28 pad
+ */
+
+#ifndef PB_FLOW_FLOWTABLE_HH
+#define PB_FLOW_FLOWTABLE_HH
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "common/byteorder.hh"
+#include "common/hash.hh"
+#include "net/ipv4.hh"
+
+namespace pb::flow
+{
+
+/** Layout constants shared with the NPE32 application. */
+namespace flowlayout
+{
+
+constexpr uint32_t offAllocNext = 0;
+constexpr uint32_t offFlowCount = 4;
+constexpr uint32_t offBuckets = 16;
+
+constexpr uint32_t nodeOffSrc = 0;
+constexpr uint32_t nodeOffDst = 4;
+constexpr uint32_t nodeOffPorts = 8;
+constexpr uint32_t nodeOffProto = 12;
+constexpr uint32_t nodeOffPackets = 16;
+constexpr uint32_t nodeOffBytes = 20;
+constexpr uint32_t nodeOffNext = 24;
+constexpr uint32_t nodeSize = 32;
+
+} // namespace flowlayout
+
+/** Accumulated statistics for one flow. */
+struct FlowStats
+{
+    uint64_t packets = 0;
+    uint64_t bytes = 0;
+};
+
+/**
+ * The hash both the host reference and the NPE32 program compute:
+ * Jenkins one-at-a-time over the four 32-bit tuple words
+ * (src, dst, (srcPort<<16)|dstPort, proto), with the standard final
+ * avalanche.  The caller masks the result down to the bucket count.
+ */
+constexpr uint32_t
+hashTuple(const net::FiveTuple &tuple)
+{
+    const uint32_t words[4] = {
+        tuple.src, tuple.dst,
+        (static_cast<uint32_t>(tuple.srcPort) << 16) | tuple.dstPort,
+        tuple.proto};
+    uint32_t hash = 0;
+    for (uint32_t w : words) {
+        hash += w;
+        hash += hash << 10;
+        hash ^= hash >> 6;
+    }
+    hash += hash << 3;
+    hash ^= hash >> 11;
+    hash += hash << 15;
+    return hash;
+}
+
+/** Host-side flow classifier (behavioral reference). */
+class FlowTable
+{
+  public:
+    /** @param num_buckets bucket count, power of two. */
+    explicit FlowTable(uint32_t num_buckets = 1024);
+
+    /**
+     * Account one packet.
+     * @return true if this created a new flow
+     */
+    bool update(const net::FiveTuple &tuple, uint32_t packet_bytes);
+
+    /** Statistics for a flow, if present. */
+    std::optional<FlowStats> lookup(const net::FiveTuple &tuple) const;
+
+    /** Number of distinct flows seen. */
+    size_t numFlows() const { return flows.size(); }
+
+    /** Bucket index a tuple hashes to. */
+    uint32_t
+    bucketOf(const net::FiveTuple &tuple) const
+    {
+        return hashTuple(tuple) & (numBuckets - 1);
+    }
+
+    uint32_t bucketCount() const { return numBuckets; }
+
+    /** Hash functor for containers keyed by 5-tuples. */
+    struct KeyHash
+    {
+        size_t
+        operator()(const net::FiveTuple &tuple) const
+        {
+            return hashTuple(tuple);
+        }
+    };
+
+    /** All flows (for differential tests and reports). */
+    const std::unordered_map<net::FiveTuple, FlowStats, KeyHash> &
+    all() const
+    {
+        return flows;
+    }
+
+  private:
+    uint32_t numBuckets;
+    std::unordered_map<net::FiveTuple, FlowStats, KeyHash> flows;
+};
+
+} // namespace pb::flow
+
+#endif // PB_FLOW_FLOWTABLE_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Host NAT table implementation.
+ */
+
+#include "nat.hh"
+
+namespace pb::flow
+{
+
+uint16_t
+NatTable::bind(uint32_t src, uint16_t src_port, uint8_t proto)
+{
+    uint32_t port_proto =
+        (static_cast<uint32_t>(src_port) << 16) | proto;
+    auto [it, inserted] =
+        map.try_emplace({src, port_proto},
+                        static_cast<uint16_t>(nextPort));
+    if (inserted)
+        nextPort++;
+    return it->second;
+}
+
+void
+NatTable::translate(net::Packet &packet)
+{
+    if (packet.l3Len() < net::ipv4::minHeaderLen)
+        return;
+    net::Ipv4View ip(packet.l3());
+    if (ip.version() != 4)
+        return;
+    uint8_t proto = ip.proto();
+    if (proto != static_cast<uint8_t>(net::IpProto::Tcp) &&
+        proto != static_cast<uint8_t>(net::IpProto::Udp)) {
+        return;
+    }
+    unsigned hlen = ip.headerLen();
+    // The application handles the canonical option-less header only;
+    // packets with IP options pass through untranslated.
+    if (hlen != net::ipv4::minHeaderLen ||
+        packet.l3Len() < hlen + 4) {
+        return;
+    }
+    uint8_t *l4 = packet.l3() + hlen;
+    uint16_t src_port = loadBe16(l4 + net::l4::offSrcPort);
+
+    uint16_t ext_port = bind(ip.src(), src_port, proto);
+    ip.setSrc(extAddr);
+    storeBe16(l4 + net::l4::offSrcPort, ext_port);
+    net::fillIpv4Checksum(packet.l3(), hlen);
+}
+
+} // namespace pb::flow

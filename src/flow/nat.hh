@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Source NAT (NAPT) binding table — host reference for the NAT
+ * application.
+ *
+ * NAT is one of the paper's motivating router functions (Section II
+ * cites RFC 1631).  The translator maps each internal
+ * (source address, source port, protocol) to a fresh external port
+ * on one external address, in first-seen order, so the mapping is a
+ * deterministic function of the packet sequence — which is what the
+ * differential tests rely on.
+ *
+ * Simulated memory layout (base = NAT region start):
+ *   +0   allocNext: address of the next free binding node
+ *   +4   binding count
+ *   +8   next external port to hand out
+ *   +12  (pad)
+ *   +16  bucket array: numBuckets x 4-byte head pointer
+ *   then the node heap
+ *
+ * Binding node (16 bytes):
+ *   +0 internal source address
+ *   +4 (srcPort << 16) | protocol
+ *   +8 external port
+ *   +12 next pointer
+ */
+
+#ifndef PB_FLOW_NAT_HH
+#define PB_FLOW_NAT_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "net/ipv4.hh"
+
+namespace pb::flow
+{
+
+/** Layout constants shared with the NPE32 NAT application. */
+namespace natlayout
+{
+
+constexpr uint32_t offAllocNext = 0;
+constexpr uint32_t offBindingCount = 4;
+constexpr uint32_t offNextPort = 8;
+constexpr uint32_t offBuckets = 16;
+
+constexpr uint32_t nodeOffSrc = 0;
+constexpr uint32_t nodeOffPortProto = 4;
+constexpr uint32_t nodeOffExtPort = 8;
+constexpr uint32_t nodeOffNext = 12;
+constexpr uint32_t nodeSize = 16;
+
+/** Hash of a binding key (mirrored in assembly). */
+constexpr uint32_t
+hashKey(uint32_t src, uint32_t port_proto)
+{
+    uint32_t h = src ^ port_proto;
+    h ^= h >> 16;
+    h ^= h >> 8;
+    return h;
+}
+
+} // namespace natlayout
+
+/** Host-side NAPT binding table. */
+class NatTable
+{
+  public:
+    /**
+     * @param external_addr address translated packets appear from
+     * @param port_base     first external port handed out
+     */
+    NatTable(uint32_t external_addr, uint16_t port_base)
+        : extAddr(external_addr), nextPort(port_base)
+    {}
+
+    /**
+     * External port bound to (src, srcPort, proto), allocating a new
+     * one on first sight.
+     */
+    uint16_t bind(uint32_t src, uint16_t src_port, uint8_t proto);
+
+    /**
+     * Apply the translation to @p packet the way the NAT
+     * application does: TCP/UDP packets get their source address and
+     * port rewritten and the IP checksum recomputed; other
+     * protocols pass through untouched.
+     */
+    void translate(net::Packet &packet);
+
+    uint32_t externalAddr() const { return extAddr; }
+    size_t bindings() const { return map.size(); }
+
+  private:
+    struct KeyHash
+    {
+        size_t
+        operator()(const std::pair<uint32_t, uint32_t> &key) const
+        {
+            return natlayout::hashKey(key.first, key.second);
+        }
+    };
+
+    uint32_t extAddr;
+    uint32_t nextPort;
+    std::unordered_map<std::pair<uint32_t, uint32_t>, uint16_t,
+                       KeyHash>
+        map;
+};
+
+} // namespace pb::flow
+
+#endif // PB_FLOW_NAT_HH

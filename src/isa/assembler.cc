@@ -1,0 +1,540 @@
+/**
+ * @file
+ * Two-pass assembler implementation.
+ */
+
+#include "assembler.hh"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "common/strutil.hh"
+#include "isa/inst.hh"
+
+namespace pb::isa
+{
+
+namespace
+{
+
+/** One parsed source statement. */
+struct Statement
+{
+    int line = 0;
+    std::string mnemonic;              // lower case, may be a directive
+    std::vector<std::string> operands; // comma-separated, trimmed
+    unsigned sizeWords = 0;            // fixed by pass 1
+};
+
+const std::unordered_map<std::string, int> regNames = {
+    {"zero", 0}, {"a0", 1}, {"a1", 2}, {"a2", 3}, {"a3", 4},
+    {"t0", 5}, {"t1", 6}, {"t2", 7}, {"t3", 8}, {"t4", 9}, {"t5", 10},
+    {"s0", 11}, {"s1", 12}, {"sp", 13}, {"lr", 14}, {"at", 15},
+};
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '.';
+}
+
+bool
+isIdentifier(std::string_view s)
+{
+    if (s.empty())
+        return false;
+    if (std::isdigit(static_cast<unsigned char>(s[0])))
+        return false;
+    for (char c : s) {
+        if (!isIdentChar(c))
+            return false;
+    }
+    return true;
+}
+
+/**
+ * Evaluate a +/- expression of integers and symbol names.
+ *
+ * @param expr       the expression text
+ * @param symbols    name -> value map
+ * @param[out] value result on success
+ * @param[out] missing first undefined symbol name, if any
+ * @return true on success
+ */
+bool
+evalExpr(std::string_view expr,
+         const std::map<std::string, uint32_t> &symbols, int64_t &value,
+         std::string &missing)
+{
+    expr = trim(expr);
+    if (expr.empty())
+        return false;
+
+    size_t i = 0;
+    int64_t total = 0;
+    int sign = 1;
+    bool first = true;
+
+    while (i < expr.size()) {
+        while (i < expr.size() &&
+               std::isspace(static_cast<unsigned char>(expr[i])))
+            i++;
+        if (i >= expr.size())
+            return false;
+
+        if (!first || expr[i] == '+' || expr[i] == '-') {
+            if (expr[i] == '+') {
+                sign = 1;
+                i++;
+            } else if (expr[i] == '-') {
+                sign = -1;
+                i++;
+            } else if (!first) {
+                return false; // two terms with no operator
+            }
+            while (i < expr.size() &&
+                   std::isspace(static_cast<unsigned char>(expr[i])))
+                i++;
+            if (i >= expr.size())
+                return false;
+        }
+        first = false;
+
+        size_t start = i;
+        while (i < expr.size() && isIdentChar(expr[i]))
+            i++;
+        if (i == start)
+            return false;
+        std::string_view term = expr.substr(start, i - start);
+
+        int64_t term_value;
+        if (std::isdigit(static_cast<unsigned char>(term[0]))) {
+            auto v = parseInt(term);
+            if (!v)
+                return false;
+            term_value = *v;
+        } else {
+            auto it = symbols.find(std::string(term));
+            if (it == symbols.end()) {
+                missing = std::string(term);
+                return false;
+            }
+            term_value = it->second;
+        }
+        total += sign * term_value;
+        sign = 1;
+    }
+    value = total;
+    return true;
+}
+
+} // namespace
+
+int
+parseRegister(std::string_view token)
+{
+    auto it = regNames.find(std::string(token));
+    if (it != regNames.end())
+        return it->second;
+    if (token.size() >= 2 && (token[0] == 'r' || token[0] == 'R')) {
+        auto v = parseInt(token.substr(1));
+        if (v && *v >= 0 && *v < static_cast<int64_t>(numRegs))
+            return static_cast<int>(*v);
+    }
+    return -1;
+}
+
+Assembler::Assembler(uint32_t base_addr) : baseAddr(base_addr)
+{
+    if (!isAligned(base_addr, 4))
+        fatal("assembler base address 0x%x is not word aligned",
+              base_addr);
+}
+
+Program
+Assembler::assemble(std::string_view source,
+                    const std::string &unit_name) const
+{
+    Program prog;
+    prog.baseAddr = baseAddr;
+
+    std::vector<Statement> stmts;
+    std::map<std::string, uint32_t> equs;
+    // Label addresses land directly in the program symbol table.
+    std::map<std::string, uint32_t> &labels = prog.symbols;
+
+    auto err = [&](int line, const std::string &msg) -> AsmError {
+        return AsmError(unit_name, line, msg);
+    };
+
+    // ---------------- Pass 1: parse, size, collect symbols ----------
+    uint32_t word_count = 0;
+    int line_no = 0;
+    size_t pos = 0;
+    while (pos <= source.size()) {
+        size_t eol = source.find('\n', pos);
+        std::string_view raw = (eol == std::string_view::npos)
+                                   ? source.substr(pos)
+                                   : source.substr(pos, eol - pos);
+        pos = (eol == std::string_view::npos) ? source.size() + 1 : eol + 1;
+        line_no++;
+
+        // Strip comments.
+        size_t cmt = raw.find_first_of("#;");
+        if (cmt != std::string_view::npos)
+            raw = raw.substr(0, cmt);
+        std::string_view text = trim(raw);
+
+        // Peel off any leading labels.
+        while (true) {
+            size_t colon = text.find(':');
+            if (colon == std::string_view::npos)
+                break;
+            std::string_view name = trim(text.substr(0, colon));
+            if (!isIdentifier(name))
+                throw err(line_no, "bad label name '" +
+                                       std::string(name) + "'");
+            std::string label(name);
+            if (labels.count(label) || equs.count(label))
+                throw err(line_no, "duplicate symbol '" + label + "'");
+            labels[label] = baseAddr + word_count * 4;
+            text = trim(text.substr(colon + 1));
+        }
+        if (text.empty())
+            continue;
+
+        // Split mnemonic from operand list.
+        size_t sp = text.find_first_of(" \t");
+        Statement stmt;
+        stmt.line = line_no;
+        stmt.mnemonic = toLower(text.substr(
+            0, sp == std::string_view::npos ? text.size() : sp));
+        if (sp != std::string_view::npos) {
+            for (const auto &part : split(text.substr(sp + 1), ',')) {
+                std::string operand(trim(part));
+                if (operand.empty())
+                    throw err(line_no, "empty operand");
+                stmt.operands.push_back(std::move(operand));
+            }
+        }
+
+        // Directives.
+        if (stmt.mnemonic == ".equ") {
+            if (stmt.operands.size() != 2)
+                throw err(line_no, ".equ needs a name and a value");
+            const std::string &name = stmt.operands[0];
+            if (!isIdentifier(name) || name[0] == '.')
+                throw err(line_no, "bad .equ name '" + name + "'");
+            if (labels.count(name) || equs.count(name))
+                throw err(line_no, "duplicate symbol '" + name + "'");
+            int64_t value;
+            std::string missing;
+            if (!evalExpr(stmt.operands[1], equs, value, missing)) {
+                throw err(line_no,
+                          missing.empty()
+                              ? "bad .equ expression"
+                              : ".equ references undefined symbol '" +
+                                    missing + "'");
+            }
+            equs[name] = static_cast<uint32_t>(value);
+            continue;
+        }
+
+        // Size the statement.
+        if (stmt.mnemonic == "la") {
+            stmt.sizeWords = 2;
+        } else if (stmt.mnemonic == "li") {
+            if (stmt.operands.size() != 2)
+                throw err(line_no, "li needs a register and a value");
+            int64_t value;
+            std::string missing;
+            if (evalExpr(stmt.operands[1], equs, value, missing)) {
+                stmt.sizeWords =
+                    (fitsSimm16(value) || fitsUimm16(value)) ? 1 : 2;
+            } else if (!missing.empty()) {
+                stmt.sizeWords = 2; // label address: full 32 bits
+            } else {
+                throw err(line_no, "bad li operand '" +
+                                       stmt.operands[1] + "'");
+            }
+        } else if (stmt.mnemonic == ".word") {
+            stmt.sizeWords = 1;
+        } else {
+            stmt.sizeWords = 1;
+        }
+
+        word_count += stmt.sizeWords;
+        stmts.push_back(std::move(stmt));
+    }
+
+    // Merge equs into the symbol space used for operand evaluation.
+    std::map<std::string, uint32_t> all_symbols = labels;
+    all_symbols.insert(equs.begin(), equs.end());
+
+    // ---------------- Pass 2: encode -------------------------------
+    prog.words.reserve(word_count);
+    prog.lines.reserve(word_count);
+
+    auto emit = [&](const Inst &inst, int line) {
+        prog.words.push_back(encode(inst));
+        prog.lines.push_back(line);
+    };
+
+    for (const auto &stmt : stmts) {
+        const int line = stmt.line;
+        const uint32_t addr =
+            baseAddr + static_cast<uint32_t>(prog.words.size()) * 4;
+
+        auto want = [&](size_t n) {
+            if (stmt.operands.size() != n)
+                throw err(line, "'" + stmt.mnemonic + "' takes " +
+                                    std::to_string(n) + " operand(s), got " +
+                                    std::to_string(stmt.operands.size()));
+        };
+        auto reg = [&](size_t idx) -> uint8_t {
+            int r = parseRegister(stmt.operands[idx]);
+            if (r < 0)
+                throw err(line, "'" + stmt.operands[idx] +
+                                    "' is not a register");
+            return static_cast<uint8_t>(r);
+        };
+        auto value = [&](const std::string &expr) -> int64_t {
+            int64_t v;
+            std::string missing;
+            if (!evalExpr(expr, all_symbols, v, missing)) {
+                throw err(line, missing.empty()
+                                    ? "bad expression '" + expr + "'"
+                                    : "undefined symbol '" + missing + "'");
+            }
+            return v;
+        };
+        auto branchOffset = [&](const std::string &expr) -> int32_t {
+            int64_t target = value(expr);
+            int64_t delta = target - (static_cast<int64_t>(addr) + 4);
+            if (delta % 4 != 0)
+                throw err(line, "branch target not word aligned");
+            int64_t words = delta / 4;
+            if (!fitsSimm16(words))
+                throw err(line, "branch target out of range");
+            return static_cast<int32_t>(words);
+        };
+        auto jumpOffset = [&](const std::string &expr) -> int32_t {
+            int64_t target = value(expr);
+            int64_t delta = target - (static_cast<int64_t>(addr) + 4);
+            if (delta % 4 != 0)
+                throw err(line, "jump target not word aligned");
+            int64_t words = delta / 4;
+            if (!fitsSimm24(words))
+                throw err(line, "jump target out of range");
+            return static_cast<int32_t>(words);
+        };
+        /** Parse "expr(reg)" or "expr" memory operands. */
+        auto memOperand = [&](const std::string &operand, uint8_t &base,
+                              int32_t &offset) {
+            size_t paren = operand.find('(');
+            std::string expr;
+            if (paren == std::string::npos) {
+                base = regZero;
+                expr = operand;
+            } else {
+                if (operand.back() != ')')
+                    throw err(line, "bad memory operand '" + operand + "'");
+                std::string reg_text(trim(std::string_view(operand).substr(
+                    paren + 1, operand.size() - paren - 2)));
+                int r = parseRegister(reg_text);
+                if (r < 0)
+                    throw err(line, "'" + reg_text + "' is not a register");
+                base = static_cast<uint8_t>(r);
+                expr = std::string(
+                    trim(std::string_view(operand).substr(0, paren)));
+            }
+            int64_t v = expr.empty() ? 0 : value(expr);
+            if (!fitsSimm16(v))
+                throw err(line, "memory offset out of range");
+            offset = static_cast<int32_t>(v);
+        };
+        auto checkSimm16 = [&](int64_t v) -> int32_t {
+            if (!fitsSimm16(v))
+                throw err(line, "immediate " + std::to_string(v) +
+                                    " out of signed 16-bit range");
+            return static_cast<int32_t>(v);
+        };
+        auto checkUimm16 = [&](int64_t v) -> int32_t {
+            if (!fitsUimm16(v))
+                throw err(line, "immediate " + std::to_string(v) +
+                                    " out of unsigned 16-bit range");
+            return static_cast<int32_t>(v);
+        };
+        auto checkShift = [&](int64_t v) -> int32_t {
+            if (v < 0 || v > 31)
+                throw err(line, "shift amount must be 0..31");
+            return static_cast<int32_t>(v);
+        };
+
+        // ---- pseudo-instructions and directives ----
+        const std::string &m = stmt.mnemonic;
+        if (m == ".word") {
+            want(1);
+            prog.words.push_back(
+                static_cast<uint32_t>(value(stmt.operands[0])));
+            prog.lines.push_back(line);
+            continue;
+        }
+        if (m == "nop") {
+            want(0);
+            emit({Op::ADD, 0, 0, 0, 0}, line);
+            continue;
+        }
+        if (m == "move") {
+            want(2);
+            emit({Op::ADD, reg(0), reg(1), regZero, 0}, line);
+            continue;
+        }
+        if (m == "li" || m == "la") {
+            want(2);
+            uint8_t rd = reg(0);
+            uint32_t v = static_cast<uint32_t>(value(stmt.operands[1]));
+            if (stmt.sizeWords == 1) {
+                int64_t sv = static_cast<int64_t>(
+                    static_cast<int32_t>(v));
+                if (fitsSimm16(sv)) {
+                    emit({Op::ADDI, rd, regZero, 0,
+                          static_cast<int32_t>(sv)}, line);
+                } else {
+                    emit({Op::ORI, rd, regZero, 0,
+                          static_cast<int32_t>(v & 0xffff)}, line);
+                }
+            } else {
+                emit({Op::LUI, rd, 0, 0,
+                      static_cast<int32_t>(v >> 16)}, line);
+                emit({Op::ORI, rd, rd, 0,
+                      static_cast<int32_t>(v & 0xffff)}, line);
+            }
+            continue;
+        }
+        if (m == "b") {
+            want(1);
+            emit({Op::BEQ, 0, 0, 0, branchOffset(stmt.operands[0])},
+                 line);
+            continue;
+        }
+        if (m == "beqz" || m == "bnez") {
+            want(2);
+            Op op = (m == "beqz") ? Op::BEQ : Op::BNE;
+            Inst inst{op, 0, reg(0), regZero,
+                      branchOffset(stmt.operands[1])};
+            // Branch encoding stores rs/rt in the top fields.
+            inst.rd = 0;
+            emit(inst, line);
+            continue;
+        }
+        if (m == "bgt" || m == "ble" || m == "bgtu" || m == "bleu") {
+            want(3);
+            Op op = (m == "bgt") ? Op::BLT
+                    : (m == "ble") ? Op::BGE
+                    : (m == "bgtu") ? Op::BLTU
+                                    : Op::BGEU;
+            // Swap operands: bgt a,b = blt b,a.
+            emit({op, 0, reg(1), reg(0), branchOffset(stmt.operands[2])},
+                 line);
+            continue;
+        }
+        if (m == "call") {
+            want(1);
+            emit({Op::JAL, 0, 0, 0, jumpOffset(stmt.operands[0])}, line);
+            continue;
+        }
+        if (m == "ret") {
+            want(0);
+            emit({Op::JR, 0, regLr, 0, 0}, line);
+            continue;
+        }
+        if (m == "subi") {
+            want(3);
+            emit({Op::ADDI, reg(0), reg(1), 0,
+                  checkSimm16(-value(stmt.operands[2]))}, line);
+            continue;
+        }
+
+        // ---- real instructions ----
+        Op op = opFromMnemonic(m);
+        if (op == Op::INVALID)
+            throw err(line, "unknown instruction '" + m + "'");
+        const OpInfo &info = opInfo(op);
+        Inst inst;
+        inst.op = op;
+
+        switch (info.format) {
+          case Format::RType:
+            want(3);
+            inst.rd = reg(0);
+            inst.rs = reg(1);
+            inst.rt = reg(2);
+            break;
+          case Format::IType:
+            if (op == Op::LUI) {
+                want(2);
+                inst.rd = reg(0);
+                inst.imm = checkUimm16(value(stmt.operands[1]));
+            } else {
+                want(3);
+                inst.rd = reg(0);
+                inst.rs = reg(1);
+                int64_t v = value(stmt.operands[2]);
+                if (op == Op::SLLI || op == Op::SRLI || op == Op::SRAI)
+                    inst.imm = checkShift(v);
+                else if (op == Op::ADDI || op == Op::SLTI)
+                    inst.imm = checkSimm16(v);
+                else
+                    inst.imm = checkUimm16(v);
+            }
+            break;
+          case Format::Load:
+          case Format::Store:
+            want(2);
+            inst.rd = reg(0);
+            memOperand(stmt.operands[1], inst.rs, inst.imm);
+            break;
+          case Format::Branch:
+            want(3);
+            inst.rs = reg(0);
+            inst.rt = reg(1);
+            inst.imm = branchOffset(stmt.operands[2]);
+            break;
+          case Format::Jump:
+            want(1);
+            inst.imm = jumpOffset(stmt.operands[0]);
+            break;
+          case Format::JumpReg:
+            if (op == Op::JR) {
+                want(1);
+                inst.rs = reg(0);
+            } else { // JALR rd, rs  (or jalr rs with rd = lr)
+                if (stmt.operands.size() == 1) {
+                    inst.rd = regLr;
+                    inst.rs = reg(0);
+                } else {
+                    want(2);
+                    inst.rd = reg(0);
+                    inst.rs = reg(1);
+                }
+            }
+            break;
+          case Format::Sys:
+            want(1);
+            inst.imm = checkUimm16(value(stmt.operands[0]));
+            break;
+          case Format::None:
+            throw err(line, "unknown instruction '" + m + "'");
+        }
+        emit(inst, line);
+    }
+
+    if (prog.words.size() != word_count)
+        panic("assembler pass disagreement: sized %u words, emitted %zu",
+              word_count, prog.words.size());
+    return prog;
+}
+
+} // namespace pb::isa

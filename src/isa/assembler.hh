@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Two-pass assembler for NPE32.
+ *
+ * Applications in this repository — like the four PacketBench
+ * workloads — are written in NPE32 assembly and assembled at startup.
+ * The assembler supports labels, .equ constants, a handful of
+ * pseudo-instructions, and +/- constant expressions in operands.
+ *
+ * Syntax overview:
+ *
+ *     # comment            ; comment
+ *     .equ NODE_SIZE, 16
+ *     main:
+ *         lw   t0, IP_DST(a0)     # operands may be expressions
+ *         li   t1, 0x12345678     # expands to lui+ori when needed
+ *         la   t2, table          # load a label address
+ *         beqz t0, drop
+ *         ...
+ *     drop:
+ *         sys  SYS_DROP
+ *
+ * Registers: r0..r15 or symbolic zero, a0-a3, t0-t5, s0, s1, sp, lr,
+ * at.  The 'at' register (r15) is reserved for pseudo-instruction
+ * expansion.
+ */
+
+#ifndef PB_ISA_ASSEMBLER_HH
+#define PB_ISA_ASSEMBLER_HH
+
+#include <string>
+#include <string_view>
+
+#include "common/logging.hh"
+#include "isa/program.hh"
+
+namespace pb::isa
+{
+
+/** Error in assembly source; message includes unit and line number. */
+class AsmError : public Error
+{
+  public:
+    AsmError(const std::string &unit, int line, const std::string &msg)
+        : Error(unit + ":" + std::to_string(line) + ": " + msg),
+          line(line)
+    {}
+
+    int line;
+};
+
+/** Two-pass NPE32 assembler. */
+class Assembler
+{
+  public:
+    /** @param base_addr byte address where the image will be loaded. */
+    explicit Assembler(uint32_t base_addr = 0x1000);
+
+    /**
+     * Assemble @p source into a program image.
+     *
+     * @param source complete assembly source text
+     * @param unit_name name used in error messages
+     * @throws AsmError on any syntax or range error
+     */
+    Program assemble(std::string_view source,
+                     const std::string &unit_name = "<asm>") const;
+
+  private:
+    uint32_t baseAddr;
+};
+
+/**
+ * Parse a register operand ("r4", "a0", "sp", ...).
+ * @return register number, or -1 if @p token is not a register.
+ */
+int parseRegister(std::string_view token);
+
+} // namespace pb::isa
+
+#endif // PB_ISA_ASSEMBLER_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Disassembler implementation.
+ */
+
+#include "disasm.hh"
+
+#include "common/logging.hh"
+
+namespace pb::isa
+{
+
+std::string
+regName(unsigned reg)
+{
+    static const char *names[numRegs] = {
+        "zero", "a0", "a1", "a2", "a3", "t0", "t1", "t2",
+        "t3", "t4", "t5", "s0", "s1", "sp", "lr", "at",
+    };
+    if (reg >= numRegs)
+        return strprintf("r%u?", reg);
+    return names[reg];
+}
+
+std::string
+disassemble(const Inst &inst, uint32_t addr)
+{
+    const OpInfo &info = opInfo(inst.op);
+    const std::string m(info.mnemonic);
+    switch (info.format) {
+      case Format::RType:
+        return strprintf("%-6s %s, %s, %s", m.c_str(),
+                         regName(inst.rd).c_str(),
+                         regName(inst.rs).c_str(),
+                         regName(inst.rt).c_str());
+      case Format::IType:
+        if (inst.op == Op::LUI) {
+            return strprintf("%-6s %s, 0x%x", m.c_str(),
+                             regName(inst.rd).c_str(),
+                             static_cast<unsigned>(inst.imm));
+        }
+        return strprintf("%-6s %s, %s, %d", m.c_str(),
+                         regName(inst.rd).c_str(),
+                         regName(inst.rs).c_str(), inst.imm);
+      case Format::Load:
+      case Format::Store:
+        return strprintf("%-6s %s, %d(%s)", m.c_str(),
+                         regName(inst.rd).c_str(), inst.imm,
+                         regName(inst.rs).c_str());
+      case Format::Branch:
+        return strprintf("%-6s %s, %s, 0x%x", m.c_str(),
+                         regName(inst.rs).c_str(),
+                         regName(inst.rt).c_str(),
+                         addr + 4 + static_cast<uint32_t>(inst.imm) * 4);
+      case Format::Jump:
+        return strprintf("%-6s 0x%x", m.c_str(),
+                         addr + 4 + static_cast<uint32_t>(inst.imm) * 4);
+      case Format::JumpReg:
+        if (inst.op == Op::JR) {
+            return strprintf("%-6s %s", m.c_str(),
+                             regName(inst.rs).c_str());
+        }
+        return strprintf("%-6s %s, %s", m.c_str(),
+                         regName(inst.rd).c_str(),
+                         regName(inst.rs).c_str());
+      case Format::Sys:
+        return strprintf("%-6s %d", m.c_str(), inst.imm);
+      case Format::None:
+        return "<invalid>";
+    }
+    return "<invalid>";
+}
+
+std::string
+disassemble(const Program &prog)
+{
+    // Invert the symbol table so labels print above their addresses.
+    std::map<uint32_t, std::string> label_at;
+    for (const auto &[name, sym_addr] : prog.symbols)
+        label_at[sym_addr] = name;
+
+    std::string out;
+    for (size_t i = 0; i < prog.words.size(); i++) {
+        uint32_t addr = prog.baseAddr + static_cast<uint32_t>(i) * 4;
+        auto it = label_at.find(addr);
+        if (it != label_at.end())
+            out += it->second + ":\n";
+        out += strprintf("  %08x:  %08x  %s\n", addr, prog.words[i],
+                         disassemble(decode(prog.words[i]), addr).c_str());
+    }
+    return out;
+}
+
+} // namespace pb::isa

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * NPE32 disassembler, used in diagnostics and tests.
+ */
+
+#ifndef PB_ISA_DISASM_HH
+#define PB_ISA_DISASM_HH
+
+#include <string>
+
+#include "isa/inst.hh"
+#include "isa/program.hh"
+
+namespace pb::isa
+{
+
+/**
+ * Render one instruction as text.
+ *
+ * @param inst decoded instruction
+ * @param addr byte address of the instruction (used to render branch
+ *             and jump targets as absolute addresses)
+ */
+std::string disassemble(const Inst &inst, uint32_t addr);
+
+/** Render a whole program, one line per word, with addresses. */
+std::string disassemble(const Program &prog);
+
+/** Symbolic register name (a0, t3, sp, ...). */
+std::string regName(unsigned reg);
+
+} // namespace pb::isa
+
+#endif // PB_ISA_DISASM_HH

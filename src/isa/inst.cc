@@ -1,0 +1,122 @@
+/**
+ * @file
+ * NPE32 binary encoding and decoding.
+ */
+
+#include "inst.hh"
+
+namespace pb::isa
+{
+
+namespace
+{
+
+/** True if this opcode's 16-bit immediate is sign-extended. */
+bool
+immIsSigned(Op op)
+{
+    switch (op) {
+      case Op::ADDI:
+      case Op::SLTI:
+      case Op::LW:
+      case Op::LH:
+      case Op::LHU:
+      case Op::LB:
+      case Op::LBU:
+      case Op::SW:
+      case Op::SH:
+      case Op::SB:
+      case Op::BEQ:
+      case Op::BNE:
+      case Op::BLT:
+      case Op::BGE:
+      case Op::BLTU:
+      case Op::BGEU:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+uint32_t
+encode(const Inst &inst)
+{
+    uint32_t op = static_cast<uint32_t>(inst.op) << 24;
+    const Format fmt = opInfo(inst.op).format;
+    switch (fmt) {
+      case Format::RType:
+        return op | (inst.rd & 0xfu) << 20 | (inst.rs & 0xfu) << 16 |
+               (inst.rt & 0xfu) << 12;
+      case Format::IType:
+      case Format::Load:
+      case Format::Store:
+        return op | (inst.rd & 0xfu) << 20 | (inst.rs & 0xfu) << 16 |
+               (static_cast<uint32_t>(inst.imm) & 0xffffu);
+      case Format::Branch:
+        return op | (inst.rs & 0xfu) << 20 | (inst.rt & 0xfu) << 16 |
+               (static_cast<uint32_t>(inst.imm) & 0xffffu);
+      case Format::Jump:
+        return op | (static_cast<uint32_t>(inst.imm) & 0xffffffu);
+      case Format::JumpReg:
+        return op | (inst.rd & 0xfu) << 20 | (inst.rs & 0xfu) << 16;
+      case Format::Sys:
+        return op | (static_cast<uint32_t>(inst.imm) & 0xffffu);
+      case Format::None:
+        return 0xff000000u;
+    }
+    return 0xff000000u;
+}
+
+Inst
+decode(uint32_t word)
+{
+    Inst inst;
+    inst.op = static_cast<Op>(word >> 24);
+    const OpInfo &info = opInfo(inst.op);
+    if (info.format == Format::None) {
+        inst.op = Op::INVALID;
+        return inst;
+    }
+
+    uint32_t f1 = bits(word, 20, 4);
+    uint32_t f2 = bits(word, 16, 4);
+    uint32_t imm16 = bits(word, 0, 16);
+
+    switch (info.format) {
+      case Format::RType:
+        inst.rd = static_cast<uint8_t>(f1);
+        inst.rs = static_cast<uint8_t>(f2);
+        inst.rt = static_cast<uint8_t>(bits(word, 12, 4));
+        break;
+      case Format::IType:
+      case Format::Load:
+      case Format::Store:
+        inst.rd = static_cast<uint8_t>(f1);
+        inst.rs = static_cast<uint8_t>(f2);
+        inst.imm = immIsSigned(inst.op) ? sext(imm16, 16)
+                                        : static_cast<int32_t>(imm16);
+        break;
+      case Format::Branch:
+        inst.rs = static_cast<uint8_t>(f1);
+        inst.rt = static_cast<uint8_t>(f2);
+        inst.imm = sext(imm16, 16);
+        break;
+      case Format::Jump:
+        inst.imm = sext(bits(word, 0, 24), 24);
+        break;
+      case Format::JumpReg:
+        inst.rd = static_cast<uint8_t>(f1);
+        inst.rs = static_cast<uint8_t>(f2);
+        break;
+      case Format::Sys:
+        inst.imm = static_cast<int32_t>(imm16);
+        break;
+      case Format::None:
+        break;
+    }
+    return inst;
+}
+
+} // namespace pb::isa

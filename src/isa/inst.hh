@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Decoded NPE32 instruction representation and binary encode/decode.
+ */
+
+#ifndef PB_ISA_INST_HH
+#define PB_ISA_INST_HH
+
+#include <cstdint>
+
+#include "common/bitops.hh"
+#include "isa/opcodes.hh"
+
+namespace pb::isa
+{
+
+/**
+ * A decoded instruction.  Immediates are stored sign- or zero-
+ * extended according to the opcode's semantics, so the executor can
+ * use them directly.
+ */
+struct Inst
+{
+    Op op = Op::INVALID;
+    uint8_t rd = 0;  ///< destination (source for stores)
+    uint8_t rs = 0;  ///< first source / base register
+    uint8_t rt = 0;  ///< second source
+    int32_t imm = 0; ///< immediate / branch word offset
+
+    bool operator==(const Inst &) const = default;
+};
+
+/**
+ * Encode an instruction to its 32-bit binary form.
+ * Branch/jump immediates must already be word offsets; range is
+ * checked by the assembler, not here.
+ */
+uint32_t encode(const Inst &inst);
+
+/** Decode a 32-bit word.  Unknown opcodes yield op == Op::INVALID. */
+Inst decode(uint32_t word);
+
+/** True if @p imm fits in a signed 16-bit immediate. */
+constexpr bool
+fitsSimm16(int64_t imm)
+{
+    return imm >= -32768 && imm <= 32767;
+}
+
+/** True if @p imm fits in an unsigned 16-bit immediate. */
+constexpr bool
+fitsUimm16(int64_t imm)
+{
+    return imm >= 0 && imm <= 65535;
+}
+
+/** True if @p imm fits in a signed 24-bit immediate. */
+constexpr bool
+fitsSimm24(int64_t imm)
+{
+    return imm >= -(1 << 23) && imm < (1 << 23);
+}
+
+} // namespace pb::isa
+
+#endif // PB_ISA_INST_HH

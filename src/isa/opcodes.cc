@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Opcode metadata table.
+ */
+
+#include "opcodes.hh"
+
+#include <array>
+#include <unordered_map>
+
+namespace pb::isa
+{
+
+namespace
+{
+
+constexpr OpInfo table[] = {
+    {Op::ADD,   "add",   Format::RType,   InstClass::IntAlu},
+    {Op::SUB,   "sub",   Format::RType,   InstClass::IntAlu},
+    {Op::AND,   "and",   Format::RType,   InstClass::IntAlu},
+    {Op::OR,    "or",    Format::RType,   InstClass::IntAlu},
+    {Op::XOR,   "xor",   Format::RType,   InstClass::IntAlu},
+    {Op::SLL,   "sll",   Format::RType,   InstClass::IntAlu},
+    {Op::SRL,   "srl",   Format::RType,   InstClass::IntAlu},
+    {Op::SRA,   "sra",   Format::RType,   InstClass::IntAlu},
+    {Op::MUL,   "mul",   Format::RType,   InstClass::IntMul},
+    {Op::SLT,   "slt",   Format::RType,   InstClass::IntAlu},
+    {Op::SLTU,  "sltu",  Format::RType,   InstClass::IntAlu},
+    {Op::ADDI,  "addi",  Format::IType,   InstClass::IntAlu},
+    {Op::ANDI,  "andi",  Format::IType,   InstClass::IntAlu},
+    {Op::ORI,   "ori",   Format::IType,   InstClass::IntAlu},
+    {Op::XORI,  "xori",  Format::IType,   InstClass::IntAlu},
+    {Op::SLLI,  "slli",  Format::IType,   InstClass::IntAlu},
+    {Op::SRLI,  "srli",  Format::IType,   InstClass::IntAlu},
+    {Op::SRAI,  "srai",  Format::IType,   InstClass::IntAlu},
+    {Op::SLTI,  "slti",  Format::IType,   InstClass::IntAlu},
+    {Op::SLTIU, "sltiu", Format::IType,   InstClass::IntAlu},
+    {Op::LUI,   "lui",   Format::IType,   InstClass::IntAlu},
+    {Op::LW,    "lw",    Format::Load,    InstClass::Load},
+    {Op::LH,    "lh",    Format::Load,    InstClass::Load},
+    {Op::LHU,   "lhu",   Format::Load,    InstClass::Load},
+    {Op::LB,    "lb",    Format::Load,    InstClass::Load},
+    {Op::LBU,   "lbu",   Format::Load,    InstClass::Load},
+    {Op::SW,    "sw",    Format::Store,   InstClass::Store},
+    {Op::SH,    "sh",    Format::Store,   InstClass::Store},
+    {Op::SB,    "sb",    Format::Store,   InstClass::Store},
+    {Op::BEQ,   "beq",   Format::Branch,  InstClass::Branch},
+    {Op::BNE,   "bne",   Format::Branch,  InstClass::Branch},
+    {Op::BLT,   "blt",   Format::Branch,  InstClass::Branch},
+    {Op::BGE,   "bge",   Format::Branch,  InstClass::Branch},
+    {Op::BLTU,  "bltu",  Format::Branch,  InstClass::Branch},
+    {Op::BGEU,  "bgeu",  Format::Branch,  InstClass::Branch},
+    {Op::J,     "j",     Format::Jump,    InstClass::Jump},
+    {Op::JAL,   "jal",   Format::Jump,    InstClass::Jump},
+    {Op::JR,    "jr",    Format::JumpReg, InstClass::Jump},
+    {Op::JALR,  "jalr",  Format::JumpReg, InstClass::Jump},
+    {Op::SYS,   "sys",   Format::Sys,     InstClass::Sys},
+};
+
+constexpr OpInfo invalidInfo =
+    {Op::INVALID, "<invalid>", Format::None, InstClass::Invalid};
+
+/** Dense opcode -> metadata index, built once. */
+std::array<const OpInfo *, 256>
+makeIndex()
+{
+    std::array<const OpInfo *, 256> idx;
+    idx.fill(&invalidInfo);
+    for (const auto &info : table)
+        idx[static_cast<uint8_t>(info.op)] = &info;
+    return idx;
+}
+
+const std::array<const OpInfo *, 256> opIndex = makeIndex();
+
+std::unordered_map<std::string_view, Op>
+makeMnemonicMap()
+{
+    std::unordered_map<std::string_view, Op> map;
+    for (const auto &info : table)
+        map.emplace(info.mnemonic, info.op);
+    return map;
+}
+
+const std::unordered_map<std::string_view, Op> mnemonicMap =
+    makeMnemonicMap();
+
+} // namespace
+
+const OpInfo &
+opInfo(Op op)
+{
+    return *opIndex[static_cast<uint8_t>(op)];
+}
+
+Op
+opFromMnemonic(std::string_view mnemonic)
+{
+    auto it = mnemonicMap.find(mnemonic);
+    return it == mnemonicMap.end() ? Op::INVALID : it->second;
+}
+
+} // namespace pb::isa

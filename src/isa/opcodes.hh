@@ -1,0 +1,131 @@
+/**
+ * @file
+ * NPE32 instruction set definition.
+ *
+ * NPE32 is the 32-bit RISC ISA executed by PacketBench's processor
+ * simulator.  It stands in for the paper's SimpleScalar/ARM target:
+ * a small load/store architecture in the same family as the cores on
+ * the Intel IXP2400 that the paper models.
+ *
+ * Encoding (fixed 4-byte, word aligned):
+ *
+ *   R-type   [op:8][rd:4][rs:4][rt:4][0:12]     op rd, rs, rt
+ *   I-type   [op:8][rd:4][rs:4][imm:16]         op rd, rs, imm
+ *   Load     [op:8][rd:4][rs:4][imm:16]         op rd, imm(rs)
+ *   Store    [op:8][rd:4][rs:4][imm:16]         op rd, imm(rs)
+ *   Branch   [op:8][rs:4][rt:4][imm:16]         op rs, rt, target
+ *   Jump     [op:8][imm:24]                     op target
+ *   Sys      [op:8][0:8][imm:16]                sys imm
+ *
+ * Branch/jump immediates are signed word offsets relative to PC+4.
+ * ADDI/SLTI and load/store offsets sign-extend; ANDI/ORI/XORI
+ * zero-extend; shift immediates use the low 5 bits.
+ */
+
+#ifndef PB_ISA_OPCODES_HH
+#define PB_ISA_OPCODES_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace pb::isa
+{
+
+/** Number of architectural registers. r0 is hardwired to zero. */
+constexpr unsigned numRegs = 16;
+
+/** Register conventions (see assembler for the symbolic names). */
+constexpr unsigned regZero = 0;  ///< always zero
+constexpr unsigned regA0 = 1;    ///< first argument / return value
+constexpr unsigned regA1 = 2;
+constexpr unsigned regA2 = 3;
+constexpr unsigned regA3 = 4;
+constexpr unsigned regSp = 13;   ///< stack pointer
+constexpr unsigned regLr = 14;   ///< link register
+constexpr unsigned regAt = 15;   ///< assembler temporary
+
+/** Opcode values.  Stable — encoded into program binaries. */
+enum class Op : uint8_t
+{
+    // R-type ALU
+    ADD = 0x01, SUB, AND, OR, XOR, SLL, SRL, SRA, MUL, SLT, SLTU,
+    // I-type ALU
+    ADDI = 0x10, ANDI, ORI, XORI, SLLI, SRLI, SRAI, SLTI, SLTIU, LUI,
+    // Loads / stores
+    LW = 0x20, LH, LHU, LB, LBU, SW, SH, SB,
+    // Branches
+    BEQ = 0x30, BNE, BLT, BGE, BLTU, BGEU,
+    // Jumps
+    J = 0x40, JAL, JR, JALR,
+    // System
+    SYS = 0x50,
+
+    INVALID = 0xff,
+};
+
+/** Encoding format of an opcode. */
+enum class Format : uint8_t
+{
+    RType,   ///< rd, rs, rt
+    IType,   ///< rd, rs, imm16
+    Load,    ///< rd, imm16(rs)
+    Store,   ///< rd, imm16(rs)
+    Branch,  ///< rs, rt, pc-rel imm16
+    Jump,    ///< pc-rel imm24
+    JumpReg, ///< rd, rs (JALR) or rs (JR)
+    Sys,     ///< imm16
+    None,
+};
+
+/** Instruction class for instruction-mix statistics. */
+enum class InstClass : uint8_t
+{
+    IntAlu,
+    IntMul,
+    Load,
+    Store,
+    Branch,  ///< conditional control flow
+    Jump,    ///< unconditional control flow
+    Sys,
+    Invalid,
+};
+
+/** Static properties of one opcode. */
+struct OpInfo
+{
+    Op op;
+    std::string_view mnemonic;
+    Format format;
+    InstClass cls;
+};
+
+/** Look up opcode metadata; returns the INVALID entry if unknown. */
+const OpInfo &opInfo(Op op);
+
+/** Look up an opcode by mnemonic (lower case); INVALID if unknown. */
+Op opFromMnemonic(std::string_view mnemonic);
+
+/** All valid opcodes, for exhaustive tests. */
+constexpr Op allOps[] = {
+    Op::ADD, Op::SUB, Op::AND, Op::OR, Op::XOR, Op::SLL, Op::SRL,
+    Op::SRA, Op::MUL, Op::SLT, Op::SLTU,
+    Op::ADDI, Op::ANDI, Op::ORI, Op::XORI, Op::SLLI, Op::SRLI,
+    Op::SRAI, Op::SLTI, Op::SLTIU, Op::LUI,
+    Op::LW, Op::LH, Op::LHU, Op::LB, Op::LBU, Op::SW, Op::SH, Op::SB,
+    Op::BEQ, Op::BNE, Op::BLT, Op::BGE, Op::BLTU, Op::BGEU,
+    Op::J, Op::JAL, Op::JR, Op::JALR,
+    Op::SYS,
+};
+
+/** System-call codes understood by the PacketBench framework. */
+enum class SysCode : uint16_t
+{
+    Done = 0,  ///< packet handler finished (no verdict change)
+    Send = 1,  ///< emit the packet on the interface in a1
+    Drop = 2,  ///< drop the packet
+    Halt = 3,  ///< stop the core (used by bare test programs)
+};
+
+} // namespace pb::isa
+
+#endif // PB_ISA_OPCODES_HH

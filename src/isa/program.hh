@@ -1,0 +1,70 @@
+/**
+ * @file
+ * An assembled NPE32 program image.
+ */
+
+#ifndef PB_ISA_PROGRAM_HH
+#define PB_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace pb::isa
+{
+
+/**
+ * The output of the assembler: a contiguous block of instruction
+ * words plus the symbol table and per-word source line numbers used
+ * for diagnostics and for mapping simulation results back to source.
+ */
+struct Program
+{
+    /** Byte address of words[0] in simulated memory. */
+    uint32_t baseAddr = 0;
+
+    /** Instruction words, in memory order. */
+    std::vector<uint32_t> words;
+
+    /** Label name -> byte address. */
+    std::map<std::string, uint32_t> symbols;
+
+    /** words[i] was produced by source line lines[i] (1-based). */
+    std::vector<int> lines;
+
+    /** Size of the image in bytes. */
+    uint32_t sizeBytes() const
+    {
+        return static_cast<uint32_t>(words.size() * 4);
+    }
+
+    /** One past the last byte address. */
+    uint32_t endAddr() const { return baseAddr + sizeBytes(); }
+
+    /**
+     * Entry point: the address of the label @p name.
+     * @throws FatalError if the label does not exist.
+     */
+    uint32_t
+    entry(const std::string &name = "main") const
+    {
+        auto it = symbols.find(name);
+        if (it == symbols.end())
+            fatal("program has no '%s' label", name.c_str());
+        return it->second;
+    }
+
+    /** True if the program defines label @p name. */
+    bool
+    hasSymbol(const std::string &name) const
+    {
+        return symbols.find(name) != symbols.end();
+    }
+};
+
+} // namespace pb::isa
+
+#endif // PB_ISA_PROGRAM_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Packet representation used throughout PacketBench.
+ *
+ * A packet is the captured bytes plus enough metadata to find the
+ * layer-3 (IPv4) header.  PacketBench applications, like the paper's,
+ * see the packet "from the layer 3 header onwards"; the framework is
+ * responsible for knowing where that is per link type.
+ */
+
+#ifndef PB_NET_PACKET_HH
+#define PB_NET_PACKET_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace pb::net
+{
+
+/** Link layer a trace was captured on. */
+enum class LinkType : uint8_t
+{
+    Ethernet, ///< 14-byte MAC header before the IP header
+    Raw,      ///< IP directly (PoS / ATM AAL5 / TSH records)
+};
+
+/** One captured packet. */
+struct Packet
+{
+    /** Capture timestamp in microseconds. */
+    uint64_t tsUsec = 0;
+
+    /** Original length on the wire (may exceed captured bytes). */
+    uint32_t wireLen = 0;
+
+    /** Captured bytes, starting at layer 2 (or layer 3 for Raw). */
+    std::vector<uint8_t> bytes;
+
+    /** Byte offset of the IPv4 header within @ref bytes. */
+    uint16_t l3Offset = 0;
+
+    /** Pointer to the IPv4 header. */
+    const uint8_t *
+    l3() const
+    {
+        if (l3Offset > bytes.size())
+            panic("packet l3Offset beyond captured bytes");
+        return bytes.data() + l3Offset;
+    }
+
+    /** Mutable pointer to the IPv4 header. */
+    uint8_t *
+    l3()
+    {
+        if (l3Offset > bytes.size())
+            panic("packet l3Offset beyond captured bytes");
+        return bytes.data() + l3Offset;
+    }
+
+    /** Captured bytes from the IPv4 header onwards. */
+    uint16_t
+    l3Len() const
+    {
+        return static_cast<uint16_t>(bytes.size() - l3Offset);
+    }
+};
+
+} // namespace pb::net
+
+#endif // PB_NET_PACKET_HH

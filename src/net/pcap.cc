@@ -1,0 +1,198 @@
+/**
+ * @file
+ * libpcap-format reader/writer implementation.
+ */
+
+#include "pcap.hh"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/byteorder.hh"
+#include "common/logging.hh"
+
+namespace pb::net
+{
+
+namespace
+{
+
+constexpr uint32_t magicSwapped = 0xd4c3b2a1;
+constexpr uint32_t magicNanos = 0xa1b23c4d;
+constexpr size_t globalHeaderLen = 24;
+constexpr size_t recordHeaderLen = 16;
+
+/** Read exactly @p len bytes; returns false on clean EOF at byte 0. */
+bool
+readExact(std::istream &in, uint8_t *buf, size_t len,
+          const std::string &what)
+{
+    in.read(reinterpret_cast<char *>(buf), static_cast<std::streamsize>(len));
+    std::streamsize got = in.gcount();
+    if (got == 0 && in.eof())
+        return false;
+    if (static_cast<size_t>(got) != len) {
+        throw TraceFormatError(
+            strprintf("truncated pcap %s: wanted %zu bytes, got %zd",
+                      what.c_str(), len, got));
+    }
+    return true;
+}
+
+} // namespace
+
+uint32_t
+PcapReader::field32(const uint8_t *p) const
+{
+    return swapped ? loadBe32(p) : loadLe32(p);
+}
+
+uint16_t
+PcapReader::field16(const uint8_t *p) const
+{
+    return swapped ? loadBe16(p) : loadLe16(p);
+}
+
+PcapReader::PcapReader(std::istream &input, std::string trace_name)
+    : in(input), traceName(std::move(trace_name))
+{
+    uint8_t hdr[globalHeaderLen];
+    if (!readExact(in, hdr, sizeof(hdr), "global header"))
+        throw TraceFormatError("empty pcap file");
+
+    uint32_t magic = loadLe32(hdr);
+    if (magic == pcapMagic) {
+        swapped = false;
+    } else if (magic == magicSwapped) {
+        swapped = true;
+    } else if (magic == magicNanos || bswap32(magic) == magicNanos) {
+        throw TraceFormatError(
+            "nanosecond-resolution pcap files are not supported");
+    } else {
+        throw TraceFormatError(
+            strprintf("bad pcap magic 0x%08x", magic));
+    }
+
+    uint16_t major = field16(hdr + 4);
+    if (major != 2) {
+        throw TraceFormatError(
+            strprintf("unsupported pcap version %u", major));
+    }
+    snap = field32(hdr + 16);
+    uint32_t network = field32(hdr + 20);
+    switch (network) {
+      case pcapLinkEthernet:
+        link = LinkType::Ethernet;
+        break;
+      case pcapLinkRaw:
+        link = LinkType::Raw;
+        break;
+      default:
+        throw TraceFormatError(strprintf(
+            "unsupported pcap link type %u (want EN10MB or RAW)",
+            network));
+    }
+}
+
+std::optional<Packet>
+PcapReader::next()
+{
+    uint8_t hdr[recordHeaderLen];
+    if (!readExact(in, hdr, sizeof(hdr),
+                   strprintf("record header #%llu",
+                             static_cast<unsigned long long>(
+                                 packetIndex))))
+        return std::nullopt;
+
+    uint32_t ts_sec = field32(hdr + 0);
+    uint32_t ts_usec = field32(hdr + 4);
+    uint32_t incl_len = field32(hdr + 8);
+    uint32_t orig_len = field32(hdr + 12);
+    if (incl_len > 0x04000000) {
+        throw TraceFormatError(strprintf(
+            "implausible pcap record length %u (corrupt file?)",
+            incl_len));
+    }
+
+    Packet packet;
+    packet.tsUsec = static_cast<uint64_t>(ts_sec) * 1'000'000 + ts_usec;
+    packet.wireLen = orig_len;
+    packet.bytes.resize(incl_len);
+    if (incl_len > 0 &&
+        !readExact(in, packet.bytes.data(), incl_len,
+                   strprintf("record #%llu body",
+                             static_cast<unsigned long long>(
+                                 packetIndex)))) {
+        throw TraceFormatError("pcap record body missing at EOF");
+    }
+    packet.l3Offset = (link == LinkType::Ethernet) ? 14 : 0;
+    packetIndex++;
+    return packet;
+}
+
+PcapWriter::PcapWriter(std::ostream &output, LinkType link_type,
+                       uint32_t snap_len)
+    : out(output), link(link_type)
+{
+    uint8_t hdr[globalHeaderLen] = {};
+    storeLe32(hdr + 0, pcapMagic);
+    storeLe16(hdr + 4, 2);  // version major
+    storeLe16(hdr + 6, 4);  // version minor
+    storeLe32(hdr + 8, 0);  // thiszone
+    storeLe32(hdr + 12, 0); // sigfigs
+    storeLe32(hdr + 16, snap_len);
+    storeLe32(hdr + 20, link == LinkType::Ethernet ? pcapLinkEthernet
+                                                   : pcapLinkRaw);
+    out.write(reinterpret_cast<const char *>(hdr), sizeof(hdr));
+}
+
+void
+PcapWriter::write(const Packet &packet)
+{
+    uint8_t hdr[recordHeaderLen];
+    storeLe32(hdr + 0, static_cast<uint32_t>(packet.tsUsec / 1'000'000));
+    storeLe32(hdr + 4, static_cast<uint32_t>(packet.tsUsec % 1'000'000));
+    storeLe32(hdr + 8, static_cast<uint32_t>(packet.bytes.size()));
+    storeLe32(hdr + 12, packet.wireLen ? packet.wireLen
+                                       : static_cast<uint32_t>(
+                                             packet.bytes.size()));
+    out.write(reinterpret_cast<const char *>(hdr), sizeof(hdr));
+    out.write(reinterpret_cast<const char *>(packet.bytes.data()),
+              static_cast<std::streamsize>(packet.bytes.size()));
+    if (!out)
+        fatal("pcap write failed (disk full or closed stream?)");
+}
+
+namespace
+{
+
+/** TraceSource that owns its backing file stream. */
+class OwningPcapReader : public TraceSource
+{
+  public:
+    OwningPcapReader(const std::string &path)
+        : file(path, std::ios::binary)
+    {
+        if (!file)
+            fatal("cannot open pcap file '%s'", path.c_str());
+        reader = std::make_unique<PcapReader>(file, path);
+    }
+
+    std::optional<Packet> next() override { return reader->next(); }
+    std::string name() const override { return reader->name(); }
+
+  private:
+    std::ifstream file;
+    std::unique_ptr<PcapReader> reader;
+};
+
+} // namespace
+
+std::unique_ptr<TraceSource>
+openPcapFile(const std::string &path)
+{
+    return std::make_unique<OwningPcapReader>(path);
+}
+
+} // namespace pb::net

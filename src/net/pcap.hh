@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Reader and writer for the classic libpcap capture format,
+ * implemented from scratch (no libpcap dependency).
+ *
+ * Supported: both byte orders (magic 0xa1b2c3d4 / 0xd4c3b2a1),
+ * link types EN10MB (Ethernet) and RAW (IP).  Nanosecond-magic files
+ * and other link types are rejected with a clear error.
+ */
+
+#ifndef PB_NET_PCAP_HH
+#define PB_NET_PCAP_HH
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "net/trace.hh"
+
+namespace pb::net
+{
+
+/** Malformed or unsupported capture file. */
+class TraceFormatError : public Error
+{
+  public:
+    explicit TraceFormatError(const std::string &msg) : Error(msg) {}
+};
+
+/** Streaming pcap reader. */
+class PcapReader : public TraceSource
+{
+  public:
+    /**
+     * Parse the global header from @p input.
+     * @param input      stream positioned at the start of the file
+     * @param trace_name name used in reports and error messages
+     * @throws TraceFormatError on bad magic or unsupported link type
+     */
+    PcapReader(std::istream &input, std::string trace_name = "pcap");
+
+    std::optional<Packet> next() override;
+    std::string name() const override { return traceName; }
+
+    /** Link type declared in the file header. */
+    LinkType linkType() const { return link; }
+
+    /** Snap length declared in the file header. */
+    uint32_t snapLen() const { return snap; }
+
+  private:
+    std::istream &in;
+    std::string traceName;
+    bool swapped = false;
+    LinkType link = LinkType::Raw;
+    uint32_t snap = 0;
+    uint64_t packetIndex = 0;
+
+    uint32_t field32(const uint8_t *p) const;
+    uint16_t field16(const uint8_t *p) const;
+};
+
+/** Streaming pcap writer. */
+class PcapWriter : public TraceSink
+{
+  public:
+    /**
+     * Write the global header immediately.
+     * @param output    destination stream
+     * @param link_type link type recorded in the header
+     * @param snap_len  snap length recorded in the header
+     */
+    PcapWriter(std::ostream &output, LinkType link_type,
+               uint32_t snap_len = 65535);
+
+    void write(const Packet &packet) override;
+
+  private:
+    std::ostream &out;
+    LinkType link;
+};
+
+/** Open a pcap file for reading (owns the stream). */
+std::unique_ptr<TraceSource> openPcapFile(const std::string &path);
+
+/** pcap magic (host-endian written by our writer). */
+constexpr uint32_t pcapMagic = 0xa1b2c3d4;
+/** pcap link-type codes. */
+constexpr uint32_t pcapLinkEthernet = 1;
+constexpr uint32_t pcapLinkRaw = 101;
+
+} // namespace pb::net
+
+#endif // PB_NET_PCAP_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Feistel address scrambler implementation.
+ */
+
+#include "scramble.hh"
+
+#include "common/hash.hh"
+#include "net/ipv4.hh"
+
+namespace pb::net
+{
+
+uint32_t
+AddressScrambler::scramble(uint32_t addr) const
+{
+    uint16_t left = static_cast<uint16_t>(addr >> 16);
+    uint16_t right = static_cast<uint16_t>(addr);
+    for (int round = 0; round < rounds; round++) {
+        uint16_t f = static_cast<uint16_t>(
+            prf32(key + static_cast<uint32_t>(round), right));
+        uint16_t new_right = static_cast<uint16_t>(left ^ f);
+        left = right;
+        right = new_right;
+    }
+    return (static_cast<uint32_t>(left) << 16) | right;
+}
+
+uint32_t
+AddressScrambler::unscramble(uint32_t addr) const
+{
+    uint16_t left = static_cast<uint16_t>(addr >> 16);
+    uint16_t right = static_cast<uint16_t>(addr);
+    for (int round = rounds - 1; round >= 0; round--) {
+        uint16_t f = static_cast<uint16_t>(
+            prf32(key + static_cast<uint32_t>(round), left));
+        uint16_t new_left = static_cast<uint16_t>(right ^ f);
+        right = left;
+        left = new_left;
+    }
+    return (static_cast<uint32_t>(left) << 16) | right;
+}
+
+void
+AddressScrambler::scramblePacket(Packet &packet) const
+{
+    if (packet.l3Len() < ipv4::minHeaderLen)
+        return;
+    Ipv4View ip(packet.l3());
+    if (ip.version() != 4)
+        return;
+    ip.setSrc(scramble(ip.src()));
+    ip.setDst(scramble(ip.dst()));
+    unsigned hlen = ip.headerLen();
+    if (hlen >= ipv4::minHeaderLen && hlen <= packet.l3Len())
+        fillIpv4Checksum(packet.l3(), hlen);
+}
+
+} // namespace pb::net

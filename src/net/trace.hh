@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Abstract packet-trace interfaces.
+ *
+ * PacketBench consumes traces through TraceSource so that real
+ * capture files (pcap, NLANR TSH) and synthetic generators are
+ * interchangeable, and produces output traces through TraceSink
+ * (the paper's write_packet_to_file()).
+ */
+
+#ifndef PB_NET_TRACE_HH
+#define PB_NET_TRACE_HH
+
+#include <optional>
+#include <string>
+
+#include "net/packet.hh"
+
+namespace pb::net
+{
+
+/** A sequential source of packets. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /** Next packet, or nullopt at end of trace. */
+    virtual std::optional<Packet> next() = 0;
+
+    /** Human-readable trace name (for reports). */
+    virtual std::string name() const = 0;
+};
+
+/** A sequential sink for packets. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** Append one packet. */
+    virtual void write(const Packet &packet) = 0;
+};
+
+} // namespace pb::net
+
+#endif // PB_NET_TRACE_HH

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Synthetic trace generator implementation.
+ */
+
+#include "tracegen.hh"
+
+#include "common/hash.hh"
+#include "net/ipv4.hh"
+
+namespace pb::net
+{
+
+namespace
+{
+
+const ProfileInfo profiles[] = {
+    // profile, name, link description, link, Table I packets,
+    // hosts, mean flow length, pTcp, pUdp, subnets, renumber
+    {Profile::MRA, "MRA", "OC-12c (PoS)", LinkType::Raw, 4'643'333,
+     40'000, 10, 0.85, 0.12, 0, true},
+    {Profile::COS, "COS", "OC-3c (ATM)", LinkType::Raw, 2'183'310,
+     15'000, 9, 0.82, 0.14, 0, true},
+    {Profile::ODU, "ODU", "OC-3c (ATM)", LinkType::Raw, 784'278,
+     6'000, 8, 0.70, 0.26, 0, true},
+    {Profile::LAN, "LAN", "100Mbps (Ethernet)", LinkType::Ethernet,
+     100'000, 250, 40, 0.90, 0.08, 6, false},
+};
+
+const uint16_t wellKnownPorts[] = {80, 443, 53, 25, 110, 8080, 22, 21};
+
+} // namespace
+
+const ProfileInfo &
+profileInfo(Profile profile)
+{
+    for (const auto &info : profiles) {
+        if (info.profile == profile)
+            return info;
+    }
+    panic("unknown trace profile");
+}
+
+SyntheticTrace::SyntheticTrace(Profile profile, uint32_t count,
+                               uint32_t seed)
+    : info(profileInfo(profile)),
+      rng(mix32(seed, static_cast<uint32_t>(profile) + 1)),
+      total(count)
+{
+    if (count == 0)
+        fatal("SyntheticTrace: zero-packet trace requested");
+}
+
+uint32_t
+SyntheticTrace::hostAddr(uint32_t host_id)
+{
+    if (info.numSubnets > 0) {
+        // LAN: private /24 subnets, 192.168.S.H.
+        uint32_t subnet = host_id % info.numSubnets;
+        uint32_t host = 1 + (host_id / info.numSubnets) % 250;
+        return (192u << 24) | (168u << 16) | (subnet << 8) | host;
+    }
+    // Backbone: pseudorandom public-looking address, stable per id.
+    uint32_t addr = prf32(0x9d5 + static_cast<uint32_t>(info.profile),
+                          host_id);
+    // Avoid multicast/reserved (top nibble 0xe/0xf) and 0.x.
+    uint8_t top = static_cast<uint8_t>(addr >> 24);
+    if (top == 0 || top >= 0xe0)
+        addr = (addr & 0x1fffffff) | (13u << 24);
+    return addr;
+}
+
+uint32_t
+SyntheticTrace::renumber(uint32_t addr)
+{
+    auto [it, inserted] = renumberMap.emplace(addr, nextRenumbered);
+    if (inserted)
+        nextRenumbered++;
+    return it->second;
+}
+
+SyntheticTrace::Flow
+SyntheticTrace::makeFlow()
+{
+    Flow flow;
+    uint32_t src_id = rng.below(info.numHosts);
+    uint32_t dst_id = rng.below(info.numHosts);
+    if (dst_id == src_id)
+        dst_id = (dst_id + 1) % info.numHosts;
+    flow.src = hostAddr(src_id);
+    flow.dst = hostAddr(dst_id);
+
+    double p = rng.uniform();
+    if (p < info.pTcp) {
+        flow.proto = static_cast<uint8_t>(IpProto::Tcp);
+    } else if (p < info.pTcp + info.pUdp) {
+        flow.proto = static_cast<uint8_t>(IpProto::Udp);
+    } else {
+        flow.proto = static_cast<uint8_t>(IpProto::Icmp);
+    }
+
+    if (flow.proto == static_cast<uint8_t>(IpProto::Icmp)) {
+        flow.srcPort = 0;
+        flow.dstPort = 0;
+    } else {
+        flow.srcPort = static_cast<uint16_t>(rng.range(1024, 65535));
+        flow.dstPort = rng.chance(0.7)
+                           ? wellKnownPorts[rng.below(
+                                 sizeof(wellKnownPorts) /
+                                 sizeof(wellKnownPorts[0]))]
+                           : static_cast<uint16_t>(
+                                 rng.range(1024, 65535));
+    }
+
+    static const uint8_t initial_ttls[] = {32, 64, 128, 255};
+    uint8_t hops = static_cast<uint8_t>(rng.range(1, 30));
+    flow.ttl = static_cast<uint8_t>(
+        initial_ttls[rng.below(4)] - hops);
+    // A sliver of traffic arrives with an expiring TTL, as in real
+    // backbone traces (traceroutes, routing loops).
+    if (rng.chance(0.004))
+        flow.ttl = 1;
+
+    // Geometric-ish flow length with mean ~ meanFlowLen.
+    flow.remaining =
+        1 + rng.geometric(1.0 / info.meanFlowLen, info.meanFlowLen * 20);
+    return flow;
+}
+
+uint16_t
+SyntheticTrace::packetSize(const Flow &flow)
+{
+    switch (static_cast<IpProto>(flow.proto)) {
+      case IpProto::Tcp: {
+        double p = rng.uniform();
+        if (p < 0.45)
+            return 40; // pure ACK
+        if (p < 0.75)
+            return 1500; // full MSS
+        return static_cast<uint16_t>(rng.range(41, 1499));
+      }
+      case IpProto::Udp:
+        return static_cast<uint16_t>(rng.range(28, 512));
+      case IpProto::Icmp:
+        return 84;
+    }
+    return 64;
+}
+
+std::optional<Packet>
+SyntheticTrace::next()
+{
+    if (emitted >= total)
+        return std::nullopt;
+    emitted++;
+
+    // Keep a pool of concurrent flows; refresh as they drain.
+    const size_t target_active =
+        std::max<size_t>(8, info.numHosts / 16);
+    if (active.size() < target_active)
+        active.push_back(makeFlow());
+    size_t idx = rng.below(static_cast<uint32_t>(active.size()));
+    Flow &flow = active[idx];
+
+    FiveTuple tuple;
+    tuple.src = flow.src;
+    tuple.dst = flow.dst;
+    tuple.srcPort = flow.srcPort;
+    tuple.dstPort = flow.dstPort;
+    tuple.proto = flow.proto;
+    if (info.nlanrRenumber) {
+        tuple.src = renumber(tuple.src);
+        tuple.dst = renumber(tuple.dst);
+    }
+
+    uint16_t wire_len = packetSize(flow);
+    uint16_t captured =
+        std::min<uint16_t>(wire_len, syntheticSnapLen);
+    if (captured < ipv4::minHeaderLen + 8)
+        captured = ipv4::minHeaderLen + 8;
+    std::vector<uint8_t> l3 =
+        buildIpv4Packet(tuple, captured, flow.ttl, 0x5a);
+    // The IP total length reflects the wire length even though we
+    // capture only the head of the packet (like a snap-length trace).
+    Ipv4View ip(l3.data());
+    ip.setTotalLen(std::max(wire_len, captured));
+    ip.setIdent(static_cast<uint16_t>(emitted));
+    fillIpv4Checksum(l3.data(), ipv4::minHeaderLen);
+
+    Packet packet;
+    clockUsec += 1 + rng.below(200);
+    packet.tsUsec = clockUsec;
+    packet.wireLen = wire_len;
+    if (info.link == LinkType::Ethernet) {
+        packet.l3Offset = 14;
+        packet.bytes.resize(14);
+        // Locally administered MACs derived from the addresses.
+        packet.bytes[0] = 0x02;
+        storeBe32(packet.bytes.data() + 2, tuple.dst);
+        packet.bytes[6] = 0x02;
+        storeBe32(packet.bytes.data() + 8, tuple.src);
+        packet.bytes[12] = 0x08; // EtherType IPv4
+        packet.bytes[13] = 0x00;
+        packet.bytes.insert(packet.bytes.end(), l3.begin(), l3.end());
+        packet.wireLen += 14;
+    } else {
+        packet.l3Offset = 0;
+        packet.bytes = std::move(l3);
+    }
+
+    if (--flow.remaining == 0) {
+        active[idx] = active.back();
+        active.pop_back();
+    }
+    return packet;
+}
+
+} // namespace pb::net

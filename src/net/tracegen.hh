@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Synthetic packet-trace generators.
+ *
+ * The paper evaluates on three NLANR backbone traces (MRA, COS, ODU)
+ * and one local LAN trace (Table I).  The NLANR repository is long
+ * gone, so these generators synthesize traces with the properties
+ * the paper's results actually depend on:
+ *
+ *  - flow structure (how often a packet belongs to a new flow —
+ *    drives the Flow Classification insert/update split),
+ *  - address diversity (drives routing-lookup path variation),
+ *  - NLANR-style sequential 10.x renumbering for the backbone
+ *    traces (drives the paper's Section IV-B scrambling step),
+ *  - protocol and size mixes, and link type (header offsets).
+ *
+ * Real pcap or TSH traces drop in via the same TraceSource API.
+ */
+
+#ifndef PB_NET_TRACEGEN_HH
+#define PB_NET_TRACEGEN_HH
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hh"
+#include "net/trace.hh"
+
+namespace pb::net
+{
+
+/** The four trace profiles from the paper's Table I. */
+enum class Profile
+{
+    MRA, ///< OC-12c (PoS) backbone
+    COS, ///< OC-3c (ATM) access
+    ODU, ///< OC-3c (ATM) access
+    LAN, ///< 100 Mbps Ethernet intranet
+};
+
+/** All profiles, for parameterized sweeps. */
+constexpr Profile allProfiles[] = {Profile::MRA, Profile::COS,
+                                   Profile::ODU, Profile::LAN};
+
+/** Static description of a profile. */
+struct ProfileInfo
+{
+    Profile profile;
+    std::string_view name;     ///< "MRA", "COS", ...
+    std::string_view linkDesc; ///< "OC-12c (PoS)"
+    LinkType link;
+    uint32_t paperPackets; ///< packet count reported in Table I
+    uint32_t numHosts;     ///< distinct end hosts
+    uint32_t meanFlowLen;  ///< mean packets per flow
+    double pTcp;
+    double pUdp;            ///< remainder is ICMP
+    uint32_t numSubnets;    ///< >0: hosts clustered in /24 subnets
+    bool nlanrRenumber;     ///< sequential 10.x addressing (NLANR)
+};
+
+/** Profile metadata lookup. */
+const ProfileInfo &profileInfo(Profile profile);
+
+/** Deterministic synthetic trace for one profile. */
+class SyntheticTrace : public TraceSource
+{
+  public:
+    /**
+     * @param profile which Table I trace to imitate
+     * @param count   number of packets to generate
+     * @param seed    RNG seed (results are a pure function of
+     *                profile, count, seed)
+     */
+    SyntheticTrace(Profile profile, uint32_t count, uint32_t seed = 1);
+
+    std::optional<Packet> next() override;
+    std::string name() const override
+    {
+        return std::string(info.name);
+    }
+
+    /** Number of packets this source will produce. */
+    uint32_t count() const { return total; }
+
+    const ProfileInfo &profile() const { return info; }
+
+  private:
+    struct Flow
+    {
+        uint32_t src;
+        uint32_t dst;
+        uint16_t srcPort;
+        uint16_t dstPort;
+        uint8_t proto;
+        uint8_t ttl;
+        uint32_t remaining;
+    };
+
+    /** Pick or synthesize an end-host address. */
+    uint32_t hostAddr(uint32_t host_id);
+
+    /** Apply NLANR-style sequential renumbering. */
+    uint32_t renumber(uint32_t addr);
+
+    Flow makeFlow();
+    uint16_t packetSize(const Flow &flow);
+
+    const ProfileInfo &info;
+    Rng rng;
+    uint32_t total;
+    uint32_t emitted = 0;
+    uint64_t clockUsec = 1'000'000'000ull;
+    std::vector<Flow> active;
+    std::unordered_map<uint32_t, uint32_t> renumberMap;
+    uint32_t nextRenumbered = 0x0a000001; // 10.0.0.1
+};
+
+/** Bytes captured per packet (headers plus a little payload). */
+constexpr uint16_t syntheticSnapLen = 96;
+
+} // namespace pb::net
+
+#endif // PB_NET_TRACEGEN_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Trace statistics implementation.
+ */
+
+#include "tracestats.hh"
+
+#include <unordered_set>
+
+#include "common/hash.hh"
+#include "common/strutil.hh"
+#include "net/ipv4.hh"
+
+namespace pb::net
+{
+
+TraceStats
+collectTraceStats(TraceSource &source, uint64_t max_packets)
+{
+    TraceStats stats;
+    std::unordered_set<uint32_t> addrs;
+    std::unordered_set<uint32_t> flows; // hashes; collisions benign
+
+    while (max_packets == 0 || stats.packets < max_packets) {
+        auto packet = source.next();
+        if (!packet)
+            break;
+        if (stats.packets == 0) {
+            stats.firstTsUsec = packet->tsUsec;
+            stats.minWireLen = packet->wireLen;
+            stats.maxWireLen = packet->wireLen;
+        }
+        stats.packets++;
+        stats.lastTsUsec = packet->tsUsec;
+        stats.bytesOnWire += packet->wireLen;
+        stats.bytesCaptured += packet->bytes.size();
+        stats.minWireLen = std::min(stats.minWireLen, packet->wireLen);
+        stats.maxWireLen = std::max(stats.maxWireLen, packet->wireLen);
+
+        FiveTuple tuple;
+        if (!parseFiveTuple(*packet, tuple))
+            continue;
+        stats.ipv4Packets++;
+        switch (static_cast<IpProto>(tuple.proto)) {
+          case IpProto::Tcp:
+            stats.tcp++;
+            break;
+          case IpProto::Udp:
+            stats.udp++;
+            break;
+          case IpProto::Icmp:
+            stats.icmp++;
+            break;
+          default:
+            stats.otherProto++;
+            break;
+        }
+        addrs.insert(tuple.src);
+        addrs.insert(tuple.dst);
+        uint32_t ports = (static_cast<uint32_t>(tuple.srcPort) << 16) |
+                         tuple.dstPort;
+        flows.insert(mix32(mix32(tuple.src, tuple.dst),
+                           mix32(ports, tuple.proto)));
+    }
+    stats.distinctAddrs = addrs.size();
+    stats.distinctFlows = flows.size();
+    return stats;
+}
+
+std::string
+TraceStats::report(const std::string &name) const
+{
+    std::string out = strprintf("trace: %s\n", name.c_str());
+    out += strprintf("  packets:        %s (%s IPv4)\n",
+                     withCommas(packets).c_str(),
+                     withCommas(ipv4Packets).c_str());
+    out += strprintf("  bytes on wire:  %s (captured %s)\n",
+                     withCommas(bytesOnWire).c_str(),
+                     withCommas(bytesCaptured).c_str());
+    out += strprintf("  wire length:    min %u / mean %.1f / max %u\n",
+                     minWireLen, meanWireLen(), maxWireLen);
+    out += strprintf("  duration:       %.3f s\n", durationSec());
+    if (ipv4Packets) {
+        out += strprintf(
+            "  protocols:      TCP %.1f%%  UDP %.1f%%  ICMP %.1f%%  "
+            "other %.1f%%\n",
+            100.0 * tcp / ipv4Packets, 100.0 * udp / ipv4Packets,
+            100.0 * icmp / ipv4Packets,
+            100.0 * otherProto / ipv4Packets);
+    }
+    out += strprintf("  distinct addrs: %s\n",
+                     withCommas(distinctAddrs).c_str());
+    out += strprintf("  distinct flows: %s (approx)\n",
+                     withCommas(distinctFlows).c_str());
+    return out;
+}
+
+} // namespace pb::net

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Trace inspection: aggregate statistics over a packet trace.
+ *
+ * PacketBench users need to know what a trace looks like before
+ * characterizing applications on it (is it header-only? what
+ * protocol mix? how many flows?).  TraceStats makes one pass over a
+ * TraceSource and reports the paper's Table-I-style facts plus the
+ * structure the workload results depend on.
+ */
+
+#ifndef PB_NET_TRACESTATS_HH
+#define PB_NET_TRACESTATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_set>
+
+#include "net/trace.hh"
+
+namespace pb::net
+{
+
+/** Aggregate facts about one trace. */
+struct TraceStats
+{
+    uint64_t packets = 0;
+    uint64_t ipv4Packets = 0;
+    uint64_t bytesOnWire = 0;
+    uint64_t bytesCaptured = 0;
+    uint32_t minWireLen = 0;
+    uint32_t maxWireLen = 0;
+    uint64_t firstTsUsec = 0;
+    uint64_t lastTsUsec = 0;
+
+    uint64_t tcp = 0;
+    uint64_t udp = 0;
+    uint64_t icmp = 0;
+    uint64_t otherProto = 0;
+
+    uint64_t distinctAddrs = 0;
+    uint64_t distinctFlows = 0;
+
+    /** Mean wire length, 0 for an empty trace. */
+    double meanWireLen() const
+    {
+        return packets ? static_cast<double>(bytesOnWire) / packets
+                       : 0.0;
+    }
+
+    /** Trace duration in seconds. */
+    double
+    durationSec() const
+    {
+        return lastTsUsec >= firstTsUsec
+                   ? (lastTsUsec - firstTsUsec) / 1e6
+                   : 0.0;
+    }
+
+    /** Render a human-readable report. */
+    std::string report(const std::string &name) const;
+};
+
+/**
+ * Collect statistics from @p source, consuming at most
+ * @p max_packets packets (0 = unlimited).
+ */
+TraceStats collectTraceStats(TraceSource &source,
+                             uint64_t max_packets = 0);
+
+} // namespace pb::net
+
+#endif // PB_NET_TRACESTATS_HH

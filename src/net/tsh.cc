@@ -1,0 +1,113 @@
+/**
+ * @file
+ * TSH format implementation.
+ */
+
+#include "tsh.hh"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/byteorder.hh"
+#include "net/ipv4.hh"
+#include "net/pcap.hh" // TraceFormatError
+
+namespace pb::net
+{
+
+TshReader::TshReader(std::istream &input, std::string trace_name)
+    : in(input), traceName(std::move(trace_name))
+{}
+
+std::optional<Packet>
+TshReader::next()
+{
+    uint8_t rec[tshRecordLen];
+    in.read(reinterpret_cast<char *>(rec), sizeof(rec));
+    std::streamsize got = in.gcount();
+    if (got == 0 && in.eof())
+        return std::nullopt;
+    if (static_cast<size_t>(got) != sizeof(rec)) {
+        throw TraceFormatError(strprintf(
+            "truncated TSH record #%llu: got %zd of %zu bytes",
+            static_cast<unsigned long long>(packetIndex), got,
+            sizeof(rec)));
+    }
+
+    uint32_t sec = loadBe32(rec);
+    uint32_t usec = (static_cast<uint32_t>(rec[5]) << 16) |
+                    (static_cast<uint32_t>(rec[6]) << 8) | rec[7];
+
+    Packet packet;
+    packet.tsUsec = static_cast<uint64_t>(sec) * 1'000'000 + usec;
+    packet.bytes.assign(rec + 8, rec + tshRecordLen);
+    packet.l3Offset = 0;
+
+    Ipv4ConstView ip(packet.bytes.data());
+    if (ip.version() != 4) {
+        throw TraceFormatError(strprintf(
+            "TSH record #%llu does not contain an IPv4 header",
+            static_cast<unsigned long long>(packetIndex)));
+    }
+    packet.wireLen = ip.totalLen();
+    packetIndex++;
+    return packet;
+}
+
+TshWriter::TshWriter(std::ostream &output) : out(output) {}
+
+void
+TshWriter::write(const Packet &packet)
+{
+    if (packet.l3Len() < ipv4::minHeaderLen)
+        fatal("TshWriter: packet has no complete IPv4 header");
+
+    uint8_t rec[tshRecordLen] = {};
+    storeBe32(rec, static_cast<uint32_t>(packet.tsUsec / 1'000'000));
+    uint32_t usec = static_cast<uint32_t>(packet.tsUsec % 1'000'000);
+    rec[4] = 0; // interface number
+    rec[5] = static_cast<uint8_t>(usec >> 16);
+    rec[6] = static_cast<uint8_t>(usec >> 8);
+    rec[7] = static_cast<uint8_t>(usec);
+
+    size_t l3_avail = packet.l3Len();
+    size_t copy_len = std::min<size_t>(l3_avail, 36);
+    std::memcpy(rec + 8, packet.l3(), copy_len);
+    out.write(reinterpret_cast<const char *>(rec), sizeof(rec));
+    if (!out)
+        fatal("TSH write failed");
+}
+
+namespace
+{
+
+class OwningTshReader : public TraceSource
+{
+  public:
+    OwningTshReader(const std::string &path)
+        : file(path, std::ios::binary)
+    {
+        if (!file)
+            fatal("cannot open TSH file '%s'", path.c_str());
+        reader = std::make_unique<TshReader>(file, path);
+    }
+
+    std::optional<Packet> next() override { return reader->next(); }
+    std::string name() const override { return reader->name(); }
+
+  private:
+    std::ifstream file;
+    std::unique_ptr<TshReader> reader;
+};
+
+} // namespace
+
+std::unique_ptr<TraceSource>
+openTshFile(const std::string &path)
+{
+    return std::make_unique<OwningTshReader>(path);
+}
+
+} // namespace pb::net

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * NLANR Time Sequenced Headers (TSH) trace format.
+ *
+ * The paper's MRA/COS/ODU traces come from the NLANR PMA repository
+ * in TSH format: fixed 44-byte records with no file header.
+ *
+ *   bytes  0..3   timestamp, seconds (big endian)
+ *   byte   4      interface number
+ *   bytes  5..7   timestamp, microseconds (24-bit big endian)
+ *   bytes  8..27  IPv4 header (20 bytes, network order)
+ *   bytes 28..43  first 16 bytes of the TCP header
+ *
+ * TSH captures only headers, so the reconstructed Packet carries
+ * 36 bytes of L3 data; wireLen comes from the IP total-length field.
+ */
+
+#ifndef PB_NET_TSH_HH
+#define PB_NET_TSH_HH
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "net/trace.hh"
+
+namespace pb::net
+{
+
+/** Size of one TSH record in bytes. */
+constexpr size_t tshRecordLen = 44;
+
+/** Streaming TSH reader. */
+class TshReader : public TraceSource
+{
+  public:
+    /** @param input stream positioned at the first record. */
+    TshReader(std::istream &input, std::string trace_name = "tsh");
+
+    std::optional<Packet> next() override;
+    std::string name() const override { return traceName; }
+
+  private:
+    std::istream &in;
+    std::string traceName;
+    uint64_t packetIndex = 0;
+};
+
+/** Streaming TSH writer (used for round-trip tests and tooling). */
+class TshWriter : public TraceSink
+{
+  public:
+    explicit TshWriter(std::ostream &output);
+
+    /**
+     * Append one packet.  The packet must carry at least a 20-byte
+     * IPv4 header; L4 bytes beyond what is captured are zero-filled.
+     */
+    void write(const Packet &packet) override;
+
+  private:
+    std::ostream &out;
+};
+
+/** Open a TSH file for reading (owns the stream). */
+std::unique_ptr<TraceSource> openTshFile(const std::string &path);
+
+} // namespace pb::net
+
+#endif // PB_NET_TSH_HH

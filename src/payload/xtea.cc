@@ -1,0 +1,67 @@
+/**
+ * @file
+ * XTEA implementation.
+ */
+
+#include "xtea.hh"
+
+#include "common/byteorder.hh"
+
+namespace pb::payload
+{
+
+void
+Xtea::encryptBlock(uint32_t &v0, uint32_t &v1) const
+{
+    uint32_t sum = 0;
+    for (unsigned i = 0; i < rounds; i++) {
+        v0 += (((v1 << 4) ^ (v1 >> 5)) + v1) ^ (sum + key[sum & 3]);
+        sum += delta;
+        v1 += (((v0 << 4) ^ (v0 >> 5)) + v0) ^
+              (sum + key[(sum >> 11) & 3]);
+    }
+}
+
+void
+Xtea::decryptBlock(uint32_t &v0, uint32_t &v1) const
+{
+    uint32_t sum = delta * rounds;
+    for (unsigned i = 0; i < rounds; i++) {
+        v1 -= (((v0 << 4) ^ (v0 >> 5)) + v0) ^
+              (sum + key[(sum >> 11) & 3]);
+        sum -= delta;
+        v0 -= (((v1 << 4) ^ (v1 >> 5)) + v1) ^ (sum + key[sum & 3]);
+    }
+}
+
+size_t
+Xtea::encryptBuffer(uint8_t *data, size_t len) const
+{
+    size_t done = 0;
+    while (done + 8 <= len) {
+        uint32_t v0 = loadLe32(data + done);
+        uint32_t v1 = loadLe32(data + done + 4);
+        encryptBlock(v0, v1);
+        storeLe32(data + done, v0);
+        storeLe32(data + done + 4, v1);
+        done += 8;
+    }
+    return done;
+}
+
+size_t
+Xtea::decryptBuffer(uint8_t *data, size_t len) const
+{
+    size_t done = 0;
+    while (done + 8 <= len) {
+        uint32_t v0 = loadLe32(data + done);
+        uint32_t v1 = loadLe32(data + done + 4);
+        decryptBlock(v0, v1);
+        storeLe32(data + done, v0);
+        storeLe32(data + done + 4, v1);
+        done += 8;
+    }
+    return done;
+}
+
+} // namespace pb::payload

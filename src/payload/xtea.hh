@@ -1,0 +1,59 @@
+/**
+ * @file
+ * XTEA block cipher (Needham/Wheeler), the payload-encryption kernel
+ * used by the payload-processing applications.
+ *
+ * The paper notes PacketBench also characterizes payload processing
+ * applications (PPA, as defined in CommBench); encryption is
+ * CommBench's canonical heavyweight PPA.  XTEA is small enough to
+ * implement bit-exactly in NPE32 assembly while showing the defining
+ * PPA property: cost scales with payload size, not header size.
+ */
+
+#ifndef PB_PAYLOAD_XTEA_HH
+#define PB_PAYLOAD_XTEA_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace pb::payload
+{
+
+/** XTEA with the standard 32 rounds. */
+class Xtea
+{
+  public:
+    static constexpr unsigned rounds = 32;
+    static constexpr uint32_t delta = 0x9e3779b9;
+
+    /** @param key 128-bit key as four 32-bit words. */
+    explicit Xtea(std::array<uint32_t, 4> key) : key(key) {}
+
+    /** Encrypt one 64-bit block in place. */
+    void encryptBlock(uint32_t &v0, uint32_t &v1) const;
+
+    /** Decrypt one 64-bit block in place. */
+    void decryptBlock(uint32_t &v0, uint32_t &v1) const;
+
+    /**
+     * Encrypt a byte buffer in place in ECB mode (blocks read as
+     * little-endian word pairs, the NPE32 memory order).  A trailing
+     * fragment shorter than 8 bytes is left unmodified — the
+     * application processes whole blocks only.
+     * @return number of bytes encrypted
+     */
+    size_t encryptBuffer(uint8_t *data, size_t len) const;
+
+    /** Inverse of encryptBuffer(). */
+    size_t decryptBuffer(uint8_t *data, size_t len) const;
+
+    const std::array<uint32_t, 4> &keyWords() const { return key; }
+
+  private:
+    std::array<uint32_t, 4> key;
+};
+
+} // namespace pb::payload
+
+#endif // PB_PAYLOAD_XTEA_HH

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * LC-trie construction and lookup.
+ */
+
+#include "lctrie.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace pb::route
+{
+
+using namespace lclayout;
+
+namespace
+{
+
+/** Extract @p n bits of @p key starting at bit position @p pos
+ *  (position 0 = most significant). */
+constexpr uint32_t
+extractTop(uint32_t key, unsigned pos, unsigned n)
+{
+    if (n == 0)
+        return 0;
+    return (key << pos) >> (32 - n);
+}
+
+/** Simple binary trie used for leaf pushing. */
+struct BinNode
+{
+    int32_t left = -1;
+    int32_t right = -1;
+    bool hasRoute = false;
+    uint32_t nextHop = 0;
+};
+
+} // namespace
+
+uint32_t
+LcTrie::internLeaf(const Leaf &leaf)
+{
+    // Deduplicate: a short leaf can cover several partitions and
+    // would otherwise be stored once per partition.
+    for (size_t i = leaves.size(); i-- > 0;) {
+        if (leaves[i].key == leaf.key && leaves[i].len == leaf.len)
+            return static_cast<uint32_t>(i);
+        // Only the most recent few can repeat; don't scan forever.
+        if (leaves.size() - i > 64)
+            break;
+    }
+    leaves.push_back(leaf);
+    return static_cast<uint32_t>(leaves.size() - 1);
+}
+
+LcTrie::LcTrie(const std::vector<RouteEntry> &entries)
+{
+    // ---- 1. binary trie ----
+    std::vector<BinNode> bin(1);
+    for (const auto &entry : entries) {
+        if (entry.len > 32)
+            fatal("lctrie: prefix length %u out of range", entry.len);
+        int32_t at = 0;
+        for (unsigned depth = 0; depth < entry.len; depth++) {
+            bool right = bit(entry.prefix, 31 - depth) != 0;
+            int32_t &child = right ? bin[at].right : bin[at].left;
+            if (child < 0) {
+                child = static_cast<int32_t>(bin.size());
+                int32_t fresh = child;
+                bin.push_back(BinNode{});
+                at = fresh;
+            } else {
+                at = child;
+            }
+        }
+        bin[at].hasRoute = true;
+        bin[at].nextHop = entry.nextHop;
+    }
+
+    // ---- 2. leaf pushing: disjoint complete cover ----
+    std::vector<Leaf> cover;
+    // Explicit stack to avoid deep recursion.
+    struct Item
+    {
+        int32_t node;
+        uint8_t depth;
+        uint32_t bits;
+        uint32_t inheritedHop;
+    };
+    std::vector<Item> stack{{0, 0, 0, noRoute}};
+    while (!stack.empty()) {
+        Item item = stack.back();
+        stack.pop_back();
+        const BinNode &node = bin[item.node];
+        uint32_t eff =
+            node.hasRoute ? node.nextHop : item.inheritedHop;
+        if (node.left < 0 && node.right < 0) {
+            cover.push_back({item.bits, item.depth, eff});
+            continue;
+        }
+        for (int side = 0; side < 2; side++) {
+            int32_t child = side ? node.right : node.left;
+            uint32_t child_bits =
+                side ? item.bits | (1u << (31 - item.depth))
+                     : item.bits;
+            uint8_t child_depth = static_cast<uint8_t>(item.depth + 1);
+            if (child >= 0) {
+                stack.push_back({child, child_depth, child_bits, eff});
+            } else {
+                cover.push_back({child_bits, child_depth, eff});
+            }
+        }
+    }
+
+    // ---- 3. LC compression ----
+    std::sort(cover.begin(), cover.end(),
+              [](const Leaf &a, const Leaf &b) { return a.key < b.key; });
+    nodes.resize(1);
+    build(std::move(cover), 0, 0);
+    if (nodes.size() >= (1u << adrBits))
+        fatal("lctrie: node count %zu exceeds the 20-bit adr field",
+              nodes.size());
+}
+
+void
+LcTrie::build(std::vector<Leaf> cover, unsigned pre, size_t slot)
+{
+    if (cover.empty())
+        panic("lctrie: empty cover (completeness invariant broken)");
+    if (cover.size() == 1) {
+        nodes[slot] = packNode(0, 0, internLeaf(cover[0]));
+        return;
+    }
+
+    // Path compression: position of the first bit where keys differ.
+    unsigned pos = 32;
+    for (size_t i = 1; i < cover.size(); i++) {
+        pos = std::min(pos, commonPrefixLen(cover[0].key, cover[i].key));
+    }
+    if (pos < pre)
+        panic("lctrie: keys differ above the agreed prefix");
+    unsigned skip = pos - pre;
+    if (skip > 0x7f)
+        panic("lctrie: skip %u exceeds the 7-bit field", skip);
+
+    // Level compression: branch on as many bits as the population
+    // supports (fill factor 1 after leaf pushing).
+    unsigned branch = 1;
+    while (branch < maxBranch && pos + branch < 32 &&
+           (1u << (branch + 1)) <= cover.size()) {
+        branch++;
+    }
+
+    size_t first_child = nodes.size();
+    nodes.resize(first_child + (1u << branch));
+    nodes[slot] =
+        packNode(branch, skip, static_cast<uint32_t>(first_child));
+
+    std::vector<std::vector<Leaf>> parts(1u << branch);
+    for (const auto &leaf : cover) {
+        if (leaf.len >= pos + branch) {
+            parts[extractTop(leaf.key, pos, branch)].push_back(leaf);
+        } else {
+            // Short leaf: covers a span of partitions; disjointness
+            // guarantees it is alone in each of them.
+            unsigned have = leaf.len - pos;
+            uint32_t head = extractTop(leaf.key, pos, have);
+            uint32_t span = 1u << (branch - have);
+            for (uint32_t k = head * span; k < (head + 1) * span; k++)
+                parts[k].push_back(leaf);
+        }
+    }
+    for (uint32_t k = 0; k < (1u << branch); k++)
+        build(std::move(parts[k]), pos + branch, first_child + k);
+}
+
+uint32_t
+LcTrie::lookup(uint32_t addr) const
+{
+    uint32_t node = nodes[0];
+    unsigned pos = nodeSkip(node);
+    while (nodeBranch(node) != 0) {
+        unsigned branch = nodeBranch(node);
+        node = nodes[nodeAdr(node) + extractTop(addr, pos, branch)];
+        pos += branch + nodeSkip(node);
+    }
+    const Leaf &leaf = leaves[nodeAdr(node)];
+    if ((addr & prefixMask(leaf.len)) == leaf.key)
+        return leaf.nextHop;
+    return noRoute;
+}
+
+double
+LcTrie::averageDepth() const
+{
+    uint64_t total = 0;
+    uint64_t count = 0;
+    struct Item
+    {
+        uint32_t node;
+        unsigned depth;
+    };
+    std::vector<Item> stack{{0, 1}};
+    while (!stack.empty()) {
+        Item item = stack.back();
+        stack.pop_back();
+        uint32_t word = nodes[item.node];
+        if (nodeBranch(word) == 0) {
+            total += item.depth;
+            count++;
+            continue;
+        }
+        for (uint32_t k = 0; k < (1u << nodeBranch(word)); k++)
+            stack.push_back({nodeAdr(word) + k, item.depth + 1});
+    }
+    return count ? static_cast<double>(total) / count : 0.0;
+}
+
+std::vector<uint32_t>
+LcTrie::packImage(uint32_t base_addr, uint32_t &leaf_base_addr) const
+{
+    std::vector<uint32_t> words = nodes;
+    while ((words.size() * 4) % 16 != 0)
+        words.push_back(0);
+    leaf_base_addr = base_addr + static_cast<uint32_t>(words.size()) * 4;
+    for (const auto &leaf : leaves) {
+        words.push_back(leaf.key);
+        words.push_back(leaf.len);
+        words.push_back(leaf.nextHop);
+        words.push_back(0);
+    }
+    return words;
+}
+
+} // namespace pb::route

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Level- and path-compressed trie (LC-trie) for longest-prefix match,
+ * after Nilsson & Karlsson, "IP-address lookup using LC-tries" — the
+ * data structure behind the paper's IPv4-trie workload.
+ *
+ * The table is first expanded into a disjoint, complete set of leaf
+ * prefixes (leaf pushing; holes get an explicit no-route leaf), then
+ * compressed:
+ *  - path compression: chains with no branching are skipped,
+ *  - level compression: a node branches on `branch` bits at once,
+ *    with all 2^branch children stored contiguously.
+ *
+ * Node encoding (one 32-bit word, same in host and simulated memory):
+ *     [31:27] branch   (0 = leaf)
+ *     [26:20] skip
+ *     [19:0]  adr      (first-child node index, or leaf-table index)
+ *
+ * Leaf-table entry (16 bytes in simulated memory):
+ *     +0 key   +4 prefix length   +8 next hop   +12 pad
+ */
+
+#ifndef PB_ROUTE_LCTRIE_HH
+#define PB_ROUTE_LCTRIE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "route/prefix.hh"
+
+namespace pb::route
+{
+
+/** Field layout of the packed LC-trie. */
+namespace lclayout
+{
+
+constexpr unsigned branchBits = 5;
+constexpr unsigned skipBits = 7;
+constexpr unsigned adrBits = 20;
+constexpr unsigned maxBranch = 16;
+
+constexpr uint32_t leafOffKey = 0;
+constexpr uint32_t leafOffLen = 4;
+constexpr uint32_t leafOffNextHop = 8;
+constexpr uint32_t leafSize = 16;
+
+/** Pack a node word. */
+constexpr uint32_t
+packNode(uint32_t branch, uint32_t skip, uint32_t adr)
+{
+    return (branch << 27) | (skip << 20) | adr;
+}
+
+constexpr uint32_t nodeBranch(uint32_t node) { return node >> 27; }
+constexpr uint32_t nodeSkip(uint32_t node)
+{
+    return (node >> 20) & 0x7f;
+}
+constexpr uint32_t nodeAdr(uint32_t node) { return node & 0xfffff; }
+
+} // namespace lclayout
+
+/** LC-trie with host lookup and sim-image export. */
+class LcTrie
+{
+  public:
+    /** Build from @p entries (need not contain a default route). */
+    explicit LcTrie(const std::vector<RouteEntry> &entries);
+
+    /** Longest-prefix match; noRoute if nothing matches. */
+    uint32_t lookup(uint32_t addr) const;
+
+    size_t numNodes() const { return nodes.size(); }
+    size_t numLeaves() const { return leaves.size(); }
+
+    /** Average depth (node visits) over all leaves, for reports. */
+    double averageDepth() const;
+
+    /**
+     * Pack the trie for simulated memory: node words followed by the
+     * leaf table (16-byte records), leaf table aligned to 16 bytes.
+     *
+     * @param base_addr            address of the first node word
+     * @param[out] leaf_base_addr  address of the first leaf record
+     */
+    std::vector<uint32_t> packImage(uint32_t base_addr,
+                                    uint32_t &leaf_base_addr) const;
+
+  private:
+    struct Leaf
+    {
+        uint32_t key;
+        uint8_t len;
+        uint32_t nextHop;
+    };
+
+    /** Recursive build over a disjoint complete leaf cover. */
+    void build(std::vector<Leaf> cover, unsigned pre, size_t slot);
+
+    /** Intern a leaf record, deduplicating repeats. */
+    uint32_t internLeaf(const Leaf &leaf);
+
+    std::vector<uint32_t> nodes; ///< packed node words
+    std::vector<Leaf> leaves;
+};
+
+} // namespace pb::route
+
+#endif // PB_ROUTE_LCTRIE_HH

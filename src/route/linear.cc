@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Linear-scan LPM implementation.
+ */
+
+#include "linear.hh"
+
+#include "common/bitops.hh"
+
+namespace pb::route
+{
+
+uint32_t
+LinearLpm::lookup(uint32_t addr) const
+{
+    int best_len = -1;
+    uint32_t best_hop = noRoute;
+    for (const auto &entry : table) {
+        if ((addr & prefixMask(entry.len)) == entry.prefix &&
+            static_cast<int>(entry.len) > best_len) {
+            best_len = entry.len;
+            best_hop = entry.nextHop;
+        }
+    }
+    return best_hop;
+}
+
+} // namespace pb::route

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Linear-scan longest-prefix match.
+ *
+ * The simplest possible correct LPM: scan every entry and keep the
+ * longest match.  Used as the ground-truth comparator in the
+ * three-way differential tests against the radix tree and LC-trie,
+ * and as the naive baseline in the table-size ablation bench.
+ */
+
+#ifndef PB_ROUTE_LINEAR_HH
+#define PB_ROUTE_LINEAR_HH
+
+#include <cstddef>
+
+#include "route/prefix.hh"
+
+namespace pb::route
+{
+
+/** O(n)-per-lookup reference LPM. */
+class LinearLpm
+{
+  public:
+    explicit LinearLpm(std::vector<RouteEntry> entries)
+        : table(std::move(entries))
+    {}
+
+    /** Next hop for @p addr, or noRoute if nothing matches. */
+    uint32_t lookup(uint32_t addr) const;
+
+    size_t size() const { return table.size(); }
+
+  private:
+    std::vector<RouteEntry> table;
+};
+
+} // namespace pb::route
+
+#endif // PB_ROUTE_LINEAR_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Routing-table entries and synthetic table generation.
+ *
+ * The paper uses a MAE-WEST snapshot for IPv4-radix and "a small
+ * routing table" for IPv4-trie.  MAE-WEST snapshots are no longer
+ * distributed, so we synthesize tables with a realistic BGP-like
+ * prefix-length distribution (peaked at /24) plus a default route.
+ */
+
+#ifndef PB_ROUTE_PREFIX_HH
+#define PB_ROUTE_PREFIX_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace pb::route
+{
+
+/** One routing-table entry. */
+struct RouteEntry
+{
+    uint32_t prefix = 0; ///< network-order address; low bits zero
+    uint8_t len = 0;     ///< prefix length, 0..32
+    uint32_t nextHop = 0; ///< outgoing interface id
+
+    bool operator==(const RouteEntry &) const = default;
+};
+
+/** Next-hop value returned when no prefix matches. */
+constexpr uint32_t noRoute = 0xffffffff;
+
+/**
+ * Generate a core-router-like table (for IPv4-radix).
+ *
+ * Contains a default route, all /8s (so every lookup resolves), and
+ * @p n additional prefixes with a /24-peaked length distribution.
+ * Deterministic in @p seed.
+ */
+std::vector<RouteEntry> generateCoreTable(uint32_t n, uint32_t seed);
+
+/**
+ * Generate a small edge-router table (for IPv4-trie, following the
+ * paper's note that a small table was used there): a default route
+ * plus @p n prefixes between /8 and /24.
+ */
+std::vector<RouteEntry> generateSmallTable(uint32_t n, uint32_t seed);
+
+/** Number of distinct next-hop interfaces the generators use. */
+constexpr uint32_t numInterfaces = 16;
+
+} // namespace pb::route
+
+#endif // PB_ROUTE_PREFIX_HH

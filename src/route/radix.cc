@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Binary radix trie implementation.
+ */
+
+#include "radix.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace pb::route
+{
+
+RadixTable::RadixTable(const std::vector<RouteEntry> &entries)
+{
+    nodes.push_back(Node{}); // root
+
+    for (const auto &entry : entries) {
+        if (entry.len > 32)
+            fatal("radix: prefix length %u out of range", entry.len);
+        if ((entry.prefix & ~prefixMask(entry.len)) != 0)
+            fatal("radix: prefix has bits below its mask");
+        int32_t at = 0;
+        for (unsigned depth = 0; depth < entry.len; depth++) {
+            bool right = bit(entry.prefix, 31 - depth) != 0;
+            int32_t &child = right ? nodes[at].right : nodes[at].left;
+            if (child < 0) {
+                child = static_cast<int32_t>(nodes.size());
+                // NOTE: `child` may dangle after push_back; re-read.
+                int32_t fresh = child;
+                nodes.push_back(Node{});
+                at = fresh;
+            } else {
+                at = child;
+            }
+        }
+        nodes[at].hasRoute = true;
+        nodes[at].nextHop = entry.nextHop;
+    }
+}
+
+uint32_t
+RadixTable::lookup(uint32_t addr) const
+{
+    uint32_t best = noRoute;
+    int32_t at = 0;
+    unsigned depth = 0;
+    while (at >= 0) {
+        const Node &node = nodes[at];
+        if (node.hasRoute)
+            best = node.nextHop;
+        if (depth >= 32)
+            break;
+        at = bit(addr, 31 - depth) ? node.right : node.left;
+        depth++;
+    }
+    return best;
+}
+
+std::vector<uint32_t>
+RadixTable::packImage(uint32_t base_addr) const
+{
+    using namespace radixlayout;
+    std::vector<uint32_t> words(nodes.size() * (nodeSize / 4), 0);
+    auto addr_of = [&](int32_t idx) -> uint32_t {
+        return idx < 0 ? 0
+                       : base_addr + static_cast<uint32_t>(idx) * nodeSize;
+    };
+    for (size_t i = 0; i < nodes.size(); i++) {
+        size_t w = i * (nodeSize / 4);
+        words[w + offLeft / 4] = addr_of(nodes[i].left);
+        words[w + offRight / 4] = addr_of(nodes[i].right);
+        words[w + offValid / 4] = nodes[i].hasRoute ? 1 : 0;
+        words[w + offNextHop / 4] = nodes[i].nextHop;
+    }
+    return words;
+}
+
+} // namespace pb::route

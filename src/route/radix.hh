@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Binary radix trie for longest-prefix match (the IPv4-radix
+ * workload's data structure).
+ *
+ * This mirrors the paper's use of the BSD radix code in its
+ * "straightforward, not particularly optimized" role: a one-bit-at-
+ * a-time radix trie descent, one node per tested bit, with the
+ * longest matching route remembered along the way.  (The BSD tree's
+ * path compression is deliberately absent — the paper contrasts this
+ * implementation against the compressed LC-trie, and the per-packet
+ * cost of the radix workload comes from walking one node per bit.)
+ *
+ * The same node layout is used host-side (index arena) and inside
+ * simulated memory (packed image), so the host lookup is a
+ * bit-exact reference for the NPE32 application.
+ *
+ * Simulated node layout (16 bytes, word-aligned):
+ *   +0  left child address  (0 = none)
+ *   +4  right child address (0 = none)
+ *   +8  route valid flag    (0 / 1)
+ *   +12 next hop
+ */
+
+#ifndef PB_ROUTE_RADIX_HH
+#define PB_ROUTE_RADIX_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "route/prefix.hh"
+
+namespace pb::route
+{
+
+/** Byte offsets of the packed radix node fields. */
+namespace radixlayout
+{
+
+constexpr uint32_t offLeft = 0;
+constexpr uint32_t offRight = 4;
+constexpr uint32_t offValid = 8;
+constexpr uint32_t offNextHop = 12;
+constexpr uint32_t nodeSize = 16;
+
+} // namespace radixlayout
+
+/** Binary radix trie with host lookup and sim-image export. */
+class RadixTable
+{
+  public:
+    /** Build the trie from @p entries. */
+    explicit RadixTable(const std::vector<RouteEntry> &entries);
+
+    /** Longest-prefix match; noRoute if nothing matches. */
+    uint32_t lookup(uint32_t addr) const;
+
+    /** Number of trie nodes. */
+    size_t numNodes() const { return nodes.size(); }
+
+    /**
+     * Pack the trie into 32-bit words for simulated memory.
+     *
+     * @param base_addr address words[0] will occupy; child pointers
+     *                  in the image are absolute simulated addresses
+     * @return packed words; the root node is at @p base_addr
+     */
+    std::vector<uint32_t> packImage(uint32_t base_addr) const;
+
+  private:
+    struct Node
+    {
+        int32_t left = -1;
+        int32_t right = -1;
+        bool hasRoute = false;
+        uint32_t nextHop = 0;
+    };
+
+    std::vector<Node> nodes;
+};
+
+} // namespace pb::route
+
+#endif // PB_ROUTE_RADIX_HH

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Per-packet accounting implementation.
+ */
+
+#include "accounting.hh"
+
+#include "sim/memmap.hh"
+
+namespace pb::sim
+{
+
+PacketRecorder::PacketRecorder(const isa::Program &prog,
+                               const BlockMap &blocks, RecorderConfig cfg_)
+    : cfg(cfg_),
+      progBase(prog.baseAddr),
+      progWords(static_cast<uint32_t>(prog.words.size())),
+      blockMap(blocks)
+{
+    wordEpoch.assign(progWords, 0);
+    blockEpoch.assign(blockMap.numBlocks(), 0);
+    textTouch.init(layout::textBase, layout::textSize);
+    dataTouch.init(layout::dataBase, layout::dataSize);
+    packetTouch.init(layout::packetBase, layout::packetSize);
+    stackTouch.init(layout::stackBase, layout::stackSize);
+}
+
+void
+PacketRecorder::beginPacket()
+{
+    if (inPacket)
+        panic("PacketRecorder::beginPacket: packet already open");
+    inPacket = true;
+    epoch++;
+    current = PacketStats{};
+}
+
+PacketStats
+PacketRecorder::endPacket()
+{
+    if (!inPacket)
+        panic("PacketRecorder::endPacket: no packet open");
+    inPacket = false;
+    return std::move(current);
+}
+
+void
+PacketRecorder::onInst(uint32_t addr, const isa::Inst &inst)
+{
+    current.instCount++;
+    totalInsts_++;
+    classCounts_[static_cast<size_t>(isa::opInfo(inst.op).cls)]++;
+    textTouch.mark(addr, 4);
+
+    uint32_t word = (addr - progBase) / 4;
+    if (word < progWords && wordEpoch[word] != epoch) {
+        wordEpoch[word] = epoch;
+        current.uniqueInstCount++;
+        if (cfg.blockSets) {
+            uint32_t block = blockMap.blockOf(addr);
+            if (blockEpoch[block] != epoch) {
+                blockEpoch[block] = epoch;
+                current.blocks.push_back(block);
+            }
+        }
+    }
+    if (cfg.instTrace)
+        current.instTrace.push_back(addr);
+}
+
+void
+PacketRecorder::onMemAccess(const MemAccessEvent &event)
+{
+    switch (event.region) {
+      case MemRegion::Packet:
+        if (event.isStore)
+            current.packetWrites++;
+        else
+            current.packetReads++;
+        packetTouch.mark(event.addr, event.size);
+        break;
+      case MemRegion::Data:
+        if (event.isStore)
+            current.nonPacketWrites++;
+        else
+            current.nonPacketReads++;
+        dataTouch.mark(event.addr, event.size);
+        break;
+      case MemRegion::Stack:
+        if (event.isStore)
+            current.nonPacketWrites++;
+        else
+            current.nonPacketReads++;
+        stackTouch.mark(event.addr, event.size);
+        break;
+      case MemRegion::Text:
+      case MemRegion::Unmapped:
+        // Reads of constants embedded in text count as non-packet.
+        if (event.isStore)
+            current.nonPacketWrites++;
+        else
+            current.nonPacketReads++;
+        break;
+    }
+    if (cfg.memTrace)
+        current.memTrace.push_back({current.instCount, event});
+}
+
+uint64_t
+PacketRecorder::instMemoryBytes() const
+{
+    return textTouch.count;
+}
+
+uint64_t
+PacketRecorder::dataMemoryBytes() const
+{
+    return dataTouch.count + packetTouch.count + stackTouch.count;
+}
+
+} // namespace pb::sim

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Selective accounting: per-packet workload statistics.
+ *
+ * The paper modified SimpleScalar so that only instructions belonging
+ * to the application — not the PacketBench framework — are counted.
+ * In this reproduction the framework runs natively on the host, so
+ * everything the simulated CPU executes *is* application work; the
+ * PacketRecorder is attached for exactly the duration of each
+ * process_packet() call and detached while the framework moves
+ * packets around, which realizes the same accounting boundary.
+ */
+
+#ifndef PB_SIM_ACCOUNTING_HH
+#define PB_SIM_ACCOUNTING_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/bblock.hh"
+#include "sim/cpu.hh"
+
+namespace pb::sim
+{
+
+/** What level of per-packet detail to keep. */
+struct RecorderConfig
+{
+    /** Keep the full instruction-address trace (Fig. 6). */
+    bool instTrace = false;
+    /** Keep the full data-memory access trace (Fig. 9). */
+    bool memTrace = false;
+    /** Keep the set of basic blocks each packet executes (Figs. 7-8). */
+    bool blockSets = false;
+};
+
+/** Statistics for one processed packet. */
+struct PacketStats
+{
+    uint64_t instCount = 0;       ///< total instructions executed
+    uint32_t uniqueInstCount = 0; ///< distinct instruction addresses
+    uint32_t packetReads = 0;     ///< loads from packet memory
+    uint32_t packetWrites = 0;    ///< stores to packet memory
+    uint32_t nonPacketReads = 0;  ///< loads from data/stack memory
+    uint32_t nonPacketWrites = 0; ///< stores to data/stack memory
+
+    uint32_t packetAccesses() const { return packetReads + packetWrites; }
+    uint32_t
+    nonPacketAccesses() const
+    {
+        return nonPacketReads + nonPacketWrites;
+    }
+
+    /** Basic blocks executed at least once (sorted ids); optional. */
+    std::vector<uint32_t> blocks;
+    /** Executed instruction addresses in order; optional. */
+    std::vector<uint32_t> instTrace;
+
+    /** A data access annotated with when it happened. */
+    struct TracedAccess
+    {
+        uint64_t instIndex; ///< ordinal of the accessing instruction
+        MemAccessEvent event;
+    };
+
+    /** Data accesses in order; optional. */
+    std::vector<TracedAccess> memTrace;
+};
+
+/** Number of InstClass values tracked in the mix histogram. */
+constexpr size_t numInstClasses =
+    static_cast<size_t>(isa::InstClass::Invalid) + 1;
+
+/**
+ * ExecObserver that produces PacketStats per packet plus run-level
+ * aggregates (memory coverage, instruction mix).
+ */
+class PacketRecorder : public ExecObserver
+{
+  public:
+    PacketRecorder(const isa::Program &prog, const BlockMap &blocks,
+                   RecorderConfig cfg = {});
+
+    /** Start accounting a new packet. */
+    void beginPacket();
+
+    /** Finish the current packet and return its statistics. */
+    PacketStats endPacket();
+
+    void onInst(uint32_t addr, const isa::Inst &inst) override;
+    void onMemAccess(const MemAccessEvent &event) override;
+
+    /**
+     * @name Run-level aggregates (across all packets so far).
+     * @{
+     */
+    /** Bytes of instruction memory touched (paper Table IV col 1). */
+    uint64_t instMemoryBytes() const;
+    /** Bytes of data memory touched (paper Table IV col 2). */
+    uint64_t dataMemoryBytes() const;
+    /** Executed-instruction histogram by class. */
+    const std::array<uint64_t, numInstClasses> &
+    classCounts() const
+    {
+        return classCounts_;
+    }
+    /** Total instructions across all packets. */
+    uint64_t totalInsts() const { return totalInsts_; }
+    /** @} */
+
+  private:
+    /** Tracks which byte offsets of a region have been touched. */
+    struct TouchMap
+    {
+        uint32_t base = 0;
+        std::vector<bool> touched;
+        uint64_t count = 0;
+
+        void
+        init(uint32_t base_addr, uint32_t size)
+        {
+            base = base_addr;
+            touched.assign(size, false);
+            count = 0;
+        }
+
+        void
+        mark(uint32_t addr, uint32_t len)
+        {
+            for (uint32_t i = 0; i < len; i++) {
+                uint32_t off = addr + i - base;
+                if (off < touched.size() && !touched[off]) {
+                    touched[off] = true;
+                    count++;
+                }
+            }
+        }
+    };
+
+    const RecorderConfig cfg;
+    const uint32_t progBase;
+    const uint32_t progWords;
+    const BlockMap &blockMap;
+
+    // Per-packet epoch marking: a word (or block) is unique within the
+    // packet iff its stamp differs from the current epoch.
+    uint32_t epoch = 0;
+    std::vector<uint32_t> wordEpoch;
+    std::vector<uint32_t> blockEpoch;
+
+    PacketStats current;
+    bool inPacket = false;
+
+    // Run-level aggregates.
+    std::array<uint64_t, numInstClasses> classCounts_{};
+    uint64_t totalInsts_ = 0;
+    TouchMap textTouch;
+    TouchMap dataTouch;
+    TouchMap packetTouch;
+    TouchMap stackTouch;
+};
+
+/** Forwards the execution stream to several observers. */
+class FanoutObserver : public ExecObserver
+{
+  public:
+    /** Attach another downstream observer. */
+    void add(ExecObserver *observer) { sinks.push_back(observer); }
+
+    void
+    onInst(uint32_t addr, const isa::Inst &inst) override
+    {
+        for (auto *sink : sinks)
+            sink->onInst(addr, inst);
+    }
+
+    void
+    onMemAccess(const MemAccessEvent &event) override
+    {
+        for (auto *sink : sinks)
+            sink->onMemAccess(event);
+    }
+
+    void
+    onBranch(uint32_t addr, bool taken, uint32_t target) override
+    {
+        for (auto *sink : sinks)
+            sink->onBranch(addr, taken, target);
+    }
+
+  private:
+    std::vector<ExecObserver *> sinks;
+};
+
+} // namespace pb::sim
+
+#endif // PB_SIM_ACCOUNTING_HH

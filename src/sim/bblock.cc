@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Basic-block discovery implementation.
+ */
+
+#include "bblock.hh"
+
+#include <set>
+
+#include "isa/inst.hh"
+
+namespace pb::sim
+{
+
+using isa::Format;
+using isa::Op;
+
+BlockMap::BlockMap(const isa::Program &prog) : baseAddr(prog.baseAddr)
+{
+    const size_t n = prog.words.size();
+    if (n == 0)
+        fatal("BlockMap: empty program");
+
+    std::set<uint32_t> leaders;
+    leaders.insert(0);
+    // Every label is a potential entry point (function entries called
+    // indirectly, data-driven jump targets).
+    for (const auto &[name, addr] : prog.symbols) {
+        uint32_t word = (addr - baseAddr) / 4;
+        if (word < n)
+            leaders.insert(word);
+    }
+
+    for (size_t i = 0; i < n; i++) {
+        isa::Inst inst = isa::decode(prog.words[i]);
+        const Format fmt = isa::opInfo(inst.op).format;
+        bool is_control = fmt == Format::Branch || fmt == Format::Jump ||
+                          fmt == Format::JumpReg ||
+                          inst.op == Op::SYS;
+        if (!is_control)
+            continue;
+        // The instruction after any control-flow instruction starts a
+        // new block.
+        if (i + 1 < n)
+            leaders.insert(static_cast<uint32_t>(i + 1));
+        // Direct targets are leaders.
+        if (fmt == Format::Branch || fmt == Format::Jump) {
+            int64_t target = static_cast<int64_t>(i) + 1 + inst.imm;
+            if (target >= 0 && target < static_cast<int64_t>(n))
+                leaders.insert(static_cast<uint32_t>(target));
+        }
+    }
+
+    wordToBlock.assign(n, 0);
+    uint32_t id = 0;
+    for (auto it = leaders.begin(); it != leaders.end(); ++it, ++id) {
+        uint32_t start = *it;
+        auto next = std::next(it);
+        uint32_t end_word =
+            (next == leaders.end()) ? static_cast<uint32_t>(n) : *next;
+        blocks_.push_back(
+            {id, baseAddr + start * 4, end_word - start});
+        for (uint32_t w = start; w < end_word; w++)
+            wordToBlock[w] = id;
+    }
+}
+
+} // namespace pb::sim

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Static basic-block analysis of an NPE32 program.
+ *
+ * The paper's per-packet results (Figs. 7 and 8) are phrased in terms
+ * of basic blocks: straight-line instruction sequences with a single
+ * entry and a single exit.  We discover blocks statically from the
+ * program image: a block leader is the program entry, any direct
+ * branch/jump/call target, or the instruction following any
+ * control-flow instruction.
+ */
+
+#ifndef PB_SIM_BBLOCK_HH
+#define PB_SIM_BBLOCK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace pb::sim
+{
+
+/** One static basic block. */
+struct BasicBlock
+{
+    uint32_t id;        ///< dense index, in address order
+    uint32_t startAddr; ///< byte address of the first instruction
+    uint32_t numInsts;  ///< number of instructions in the block
+};
+
+/** Maps instruction addresses to basic blocks. */
+class BlockMap
+{
+  public:
+    /** Analyze @p prog; the program must be non-empty. */
+    explicit BlockMap(const isa::Program &prog);
+
+    /** Number of static basic blocks. */
+    uint32_t numBlocks() const
+    {
+        return static_cast<uint32_t>(blocks_.size());
+    }
+
+    /** Block containing the instruction at @p addr. */
+    uint32_t
+    blockOf(uint32_t addr) const
+    {
+        return wordToBlock[(addr - baseAddr) / 4];
+    }
+
+    /** Block metadata by id. */
+    const BasicBlock &block(uint32_t id) const { return blocks_[id]; }
+
+    /** All blocks, in address order. */
+    const std::vector<BasicBlock> &blocks() const { return blocks_; }
+
+  private:
+    uint32_t baseAddr;
+    std::vector<BasicBlock> blocks_;
+    std::vector<uint32_t> wordToBlock;
+};
+
+} // namespace pb::sim
+
+#endif // PB_SIM_BBLOCK_HH

@@ -1,0 +1,315 @@
+/**
+ * @file
+ * NPE32 interpreter implementation.
+ */
+
+#include "cpu.hh"
+
+#include "common/bitops.hh"
+#include "sim/memmap.hh"
+
+namespace pb::sim
+{
+
+using isa::Inst;
+using isa::Op;
+
+Cpu::Cpu(Memory &mem_) : mem(mem_)
+{
+    resetRegs();
+}
+
+void
+Cpu::resetRegs()
+{
+    for (auto &r : regs)
+        r = 0;
+    regs[isa::regSp] = layout::stackTop;
+}
+
+void
+Cpu::loadProgram(const isa::Program &program)
+{
+    if (program.baseAddr < layout::textBase ||
+        program.endAddr() > layout::textBase + layout::textSize) {
+        fatal("program [0x%x, 0x%x) does not fit in the text region",
+              program.baseAddr, program.endAddr());
+    }
+    prog = program;
+    decoded.clear();
+    decoded.reserve(prog.words.size());
+    for (size_t i = 0; i < prog.words.size(); i++) {
+        uint32_t word = prog.words[i];
+        mem.write32(prog.baseAddr + static_cast<uint32_t>(i) * 4, word);
+        decoded.push_back(isa::decode(word));
+    }
+}
+
+uint32_t
+Cpu::load(const Inst &inst)
+{
+    uint32_t addr = reg(inst.rs) + static_cast<uint32_t>(inst.imm);
+    uint8_t size;
+    uint32_t value;
+    switch (inst.op) {
+      case Op::LW:
+        size = 4;
+        value = mem.read32(addr);
+        break;
+      case Op::LH:
+        size = 2;
+        value = static_cast<uint32_t>(sext(mem.read16(addr), 16));
+        break;
+      case Op::LHU:
+        size = 2;
+        value = mem.read16(addr);
+        break;
+      case Op::LB:
+        size = 1;
+        value = static_cast<uint32_t>(sext(mem.read8(addr), 8));
+        break;
+      case Op::LBU:
+        size = 1;
+        value = mem.read8(addr);
+        break;
+      default:
+        throw SimError("load() called for a non-load opcode");
+    }
+    if (obs)
+        obs->onMemAccess({addr, size, false, mem.classify(addr)});
+    return value;
+}
+
+void
+Cpu::store(const Inst &inst)
+{
+    uint32_t addr = reg(inst.rs) + static_cast<uint32_t>(inst.imm);
+    uint32_t value = reg(inst.rd);
+    uint8_t size;
+    switch (inst.op) {
+      case Op::SW:
+        size = 4;
+        mem.write32(addr, value);
+        break;
+      case Op::SH:
+        size = 2;
+        mem.write16(addr, static_cast<uint16_t>(value));
+        break;
+      case Op::SB:
+        size = 1;
+        mem.write8(addr, static_cast<uint8_t>(value));
+        break;
+      default:
+        throw SimError("store() called for a non-store opcode");
+    }
+    if (obs)
+        obs->onMemAccess({addr, size, true, mem.classify(addr)});
+}
+
+RunResult
+Cpu::run(uint32_t entry, uint64_t max_insts)
+{
+    RunResult result = runSlice(entry, max_insts);
+    if (result.hitBudget) {
+        throw BudgetError(strprintf(
+            "instruction budget (%llu) exhausted at pc=0x%x",
+            static_cast<unsigned long long>(max_insts),
+            result.nextPc));
+    }
+    return result;
+}
+
+RunResult
+Cpu::runSlice(uint32_t entry, uint64_t max_insts)
+{
+    if (decoded.empty())
+        fatal("Cpu::run called with no program loaded");
+
+    const uint32_t base = prog.baseAddr;
+    const uint32_t end = prog.endAddr();
+    uint32_t pc = entry;
+    uint64_t count = 0;
+
+    while (true) {
+        if (pc < base || pc >= end) {
+            throw MemoryError(strprintf(
+                "instruction fetch outside program: pc=0x%x", pc));
+        }
+        if (!isAligned(pc, 4)) {
+            throw AlignmentError(
+                strprintf("misaligned instruction fetch: pc=0x%x", pc));
+        }
+        if (count >= max_insts) {
+            lifetimeInsts += count;
+            RunResult result{isa::SysCode::Done, reg(isa::regA1),
+                             count};
+            result.hitBudget = true;
+            result.nextPc = pc;
+            return result;
+        }
+
+        const Inst &inst = decoded[(pc - base) / 4];
+        if (inst.op == Op::INVALID) {
+            throw DecodeError(strprintf(
+                "undecodable instruction word at pc=0x%x", pc));
+        }
+        count++;
+        if (obs)
+            obs->onInst(pc, inst);
+
+        uint32_t next_pc = pc + 4;
+        const uint32_t rs = reg(inst.rs);
+        const uint32_t rt = reg(inst.rt);
+        const uint32_t uimm = static_cast<uint32_t>(inst.imm);
+
+        switch (inst.op) {
+          case Op::ADD:
+            setReg(inst.rd, rs + rt);
+            break;
+          case Op::SUB:
+            setReg(inst.rd, rs - rt);
+            break;
+          case Op::AND:
+            setReg(inst.rd, rs & rt);
+            break;
+          case Op::OR:
+            setReg(inst.rd, rs | rt);
+            break;
+          case Op::XOR:
+            setReg(inst.rd, rs ^ rt);
+            break;
+          case Op::SLL:
+            setReg(inst.rd, rs << (rt & 31));
+            break;
+          case Op::SRL:
+            setReg(inst.rd, rs >> (rt & 31));
+            break;
+          case Op::SRA:
+            setReg(inst.rd, static_cast<uint32_t>(
+                                static_cast<int32_t>(rs) >> (rt & 31)));
+            break;
+          case Op::MUL:
+            setReg(inst.rd, rs * rt);
+            break;
+          case Op::SLT:
+            setReg(inst.rd, static_cast<int32_t>(rs) <
+                                    static_cast<int32_t>(rt)
+                                ? 1
+                                : 0);
+            break;
+          case Op::SLTU:
+            setReg(inst.rd, rs < rt ? 1 : 0);
+            break;
+
+          case Op::ADDI:
+            setReg(inst.rd, rs + uimm);
+            break;
+          case Op::ANDI:
+            setReg(inst.rd, rs & uimm);
+            break;
+          case Op::ORI:
+            setReg(inst.rd, rs | uimm);
+            break;
+          case Op::XORI:
+            setReg(inst.rd, rs ^ uimm);
+            break;
+          case Op::SLLI:
+            setReg(inst.rd, rs << (uimm & 31));
+            break;
+          case Op::SRLI:
+            setReg(inst.rd, rs >> (uimm & 31));
+            break;
+          case Op::SRAI:
+            setReg(inst.rd, static_cast<uint32_t>(
+                                static_cast<int32_t>(rs) >> (uimm & 31)));
+            break;
+          case Op::SLTI:
+            setReg(inst.rd, static_cast<int32_t>(rs) < inst.imm ? 1 : 0);
+            break;
+          case Op::SLTIU:
+            setReg(inst.rd, rs < uimm ? 1 : 0);
+            break;
+          case Op::LUI:
+            setReg(inst.rd, uimm << 16);
+            break;
+
+          case Op::LW:
+          case Op::LH:
+          case Op::LHU:
+          case Op::LB:
+          case Op::LBU:
+            setReg(inst.rd, load(inst));
+            break;
+          case Op::SW:
+          case Op::SH:
+          case Op::SB:
+            store(inst);
+            break;
+
+          case Op::BEQ:
+          case Op::BNE:
+          case Op::BLT:
+          case Op::BGE:
+          case Op::BLTU:
+          case Op::BGEU: {
+            bool taken;
+            switch (inst.op) {
+              case Op::BEQ:
+                taken = rs == rt;
+                break;
+              case Op::BNE:
+                taken = rs != rt;
+                break;
+              case Op::BLT:
+                taken = static_cast<int32_t>(rs) <
+                        static_cast<int32_t>(rt);
+                break;
+              case Op::BGE:
+                taken = static_cast<int32_t>(rs) >=
+                        static_cast<int32_t>(rt);
+                break;
+              case Op::BLTU:
+                taken = rs < rt;
+                break;
+              default:
+                taken = rs >= rt;
+                break;
+            }
+            uint32_t target = pc + 4 + uimm * 4;
+            if (obs)
+                obs->onBranch(pc, taken, target);
+            if (taken)
+                next_pc = target;
+            break;
+          }
+
+          case Op::J:
+            next_pc = pc + 4 + uimm * 4;
+            break;
+          case Op::JAL:
+            setReg(isa::regLr, pc + 4);
+            next_pc = pc + 4 + uimm * 4;
+            break;
+          case Op::JR:
+            next_pc = rs;
+            break;
+          case Op::JALR:
+            setReg(inst.rd, pc + 4);
+            next_pc = rs;
+            break;
+
+          case Op::SYS: {
+            lifetimeInsts += count;
+            return {static_cast<isa::SysCode>(inst.imm),
+                    reg(isa::regA1), count};
+          }
+
+          case Op::INVALID:
+            throw DecodeError("unreachable: INVALID opcode executed");
+        }
+
+        pc = next_pc;
+    }
+}
+
+} // namespace pb::sim

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * NPE32 processor core interpreter.
+ *
+ * This is the PacketBench equivalent of the paper's SimpleScalar
+ * processor simulator: it executes one application program at
+ * instruction granularity and reports every executed instruction,
+ * memory access, and branch outcome to an ExecObserver.  The
+ * framework attaches an observer only while application code runs,
+ * which implements the paper's *selective accounting*.
+ */
+
+#ifndef PB_SIM_CPU_HH
+#define PB_SIM_CPU_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/inst.hh"
+#include "isa/program.hh"
+#include "sim/memory.hh"
+
+namespace pb::sim
+{
+
+/** One simulated data-memory access. */
+struct MemAccessEvent
+{
+    uint32_t addr;
+    uint8_t size;     ///< 1, 2, or 4 bytes
+    bool isStore;
+    MemRegion region;
+};
+
+/**
+ * Receives the full execution stream of a simulated program.
+ * Default implementations ignore everything, so collectors override
+ * only what they need.
+ */
+class ExecObserver
+{
+  public:
+    virtual ~ExecObserver() = default;
+
+    /** An instruction at @p addr is about to execute. */
+    virtual void onInst(uint32_t addr, const isa::Inst &inst)
+    {
+        (void)addr;
+        (void)inst;
+    }
+
+    /** The current instruction performed a data-memory access. */
+    virtual void onMemAccess(const MemAccessEvent &event)
+    {
+        (void)event;
+    }
+
+    /** A conditional branch at @p addr resolved. */
+    virtual void onBranch(uint32_t addr, bool taken, uint32_t target)
+    {
+        (void)addr;
+        (void)taken;
+        (void)target;
+    }
+};
+
+/** Why and how a run() ended. */
+struct RunResult
+{
+    isa::SysCode stopCode;  ///< SYS code that ended execution
+    uint32_t stopArg;       ///< a1 register at the stop point
+    uint64_t instCount;     ///< instructions executed in this run
+    bool hitBudget = false; ///< stopped on the instruction budget
+    uint32_t nextPc = 0;    ///< resume point when hitBudget
+};
+
+/** Single NPE32 core. */
+class Cpu
+{
+  public:
+    /** Default per-run instruction budget (runaway-loop guard). */
+    static constexpr uint64_t defaultBudget = 50'000'000;
+
+    explicit Cpu(Memory &mem);
+
+    /**
+     * Copy a program image into the text region and pre-decode it.
+     * The program must fit entirely inside the text region.
+     */
+    void loadProgram(const isa::Program &prog);
+
+    /** The currently loaded program. */
+    const isa::Program &program() const { return prog; }
+
+    /** Attach (or with nullptr, detach) the execution observer. */
+    void setObserver(ExecObserver *observer) { obs = observer; }
+
+    /** Read an architectural register. */
+    uint32_t
+    reg(unsigned r) const
+    {
+        return r == isa::regZero ? 0 : regs[r];
+    }
+
+    /** Write an architectural register (writes to r0 are ignored). */
+    void
+    setReg(unsigned r, uint32_t value)
+    {
+        if (r != isa::regZero)
+            regs[r] = value;
+    }
+
+    /** Reset registers (sp to stack top) without touching memory. */
+    void resetRegs();
+
+    /**
+     * Execute from @p entry until a SYS instruction.
+     *
+     * @param entry     byte address of the first instruction
+     * @param max_insts instruction budget
+     * @throws SimError (or a subclass) on any execution fault,
+     *         including BudgetError when the budget runs out
+     */
+    RunResult run(uint32_t entry, uint64_t max_insts = defaultBudget);
+
+    /**
+     * Like run(), but budget exhaustion is not an error: the result
+     * has hitBudget set and nextPc holds the resume point.  This is
+     * the single-stepping primitive the debugger builds on.
+     */
+    RunResult runSlice(uint32_t entry, uint64_t max_insts);
+
+    /** Total instructions executed over the CPU's lifetime. */
+    uint64_t totalInstCount() const { return lifetimeInsts; }
+
+    /** The memory this core is attached to. */
+    Memory &memory() { return mem; }
+    const Memory &memory() const { return mem; }
+
+  private:
+    Memory &mem;
+    isa::Program prog;
+    std::vector<isa::Inst> decoded;
+    ExecObserver *obs = nullptr;
+    uint32_t regs[isa::numRegs] = {};
+    uint64_t lifetimeInsts = 0;
+
+    uint32_t load(const isa::Inst &inst);
+    void store(const isa::Inst &inst);
+};
+
+} // namespace pb::sim
+
+#endif // PB_SIM_CPU_HH

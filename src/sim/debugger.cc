@@ -1,0 +1,206 @@
+/**
+ * @file
+ * NPE32 debugger implementation.
+ */
+
+#include "debugger.hh"
+
+#include <istream>
+#include <ostream>
+
+#include "common/strutil.hh"
+#include "isa/disasm.hh"
+
+namespace pb::sim
+{
+
+Debugger::Debugger(Cpu &cpu_, uint32_t entry) : cpu(cpu_), pc_(entry)
+{}
+
+bool
+Debugger::stepOne()
+{
+    if (done)
+        return false;
+    try {
+        RunResult result = cpu.runSlice(pc_, 1);
+        stepCount += result.instCount;
+        if (result.hitBudget) {
+            pc_ = result.nextPc;
+            return true;
+        }
+        // Program ended with SYS.
+        done = true;
+        sysCode = result.stopCode;
+        return false;
+    } catch (const SimError &e) {
+        done = true;
+        fault = e.what();
+        return false;
+    }
+}
+
+StopReason
+Debugger::step(uint64_t max_steps)
+{
+    for (uint64_t i = 0; i < max_steps; i++) {
+        if (!stepOne())
+            return fault.empty() ? StopReason::Sys : StopReason::Fault;
+        if (i + 1 < max_steps && breakpoints.count(pc_))
+            return StopReason::Breakpoint;
+    }
+    return StopReason::Step;
+}
+
+StopReason
+Debugger::cont()
+{
+    while (true) {
+        if (!stepOne())
+            return fault.empty() ? StopReason::Sys : StopReason::Fault;
+        if (breakpoints.count(pc_))
+            return StopReason::Breakpoint;
+    }
+}
+
+bool
+Debugger::resolve(const std::string &token, uint32_t &addr) const
+{
+    const isa::Program &prog = cpu.program();
+    if (prog.hasSymbol(token)) {
+        addr = prog.symbols.at(token);
+        return true;
+    }
+    auto value = parseInt(token);
+    if (value && *value >= 0) {
+        addr = static_cast<uint32_t>(*value);
+        return true;
+    }
+    return false;
+}
+
+void
+Debugger::repl(std::istream &in, std::ostream &out)
+{
+    const isa::Program &prog = cpu.program();
+    auto show_pc = [&] {
+        if (done) {
+            if (fault.empty()) {
+                out << "program ended: sys " <<
+                    static_cast<int>(sysCode) << "\n";
+            } else {
+                out << "fault: " << fault << "\n";
+            }
+            return;
+        }
+        out << strprintf("0x%08x:  %s\n", pc_,
+                         isa::disassemble(
+                             isa::decode(cpu.program().words
+                                             [(pc_ - prog.baseAddr) /
+                                              4]),
+                             pc_)
+                             .c_str());
+    };
+
+    std::string line;
+    out << "npe32 debugger; 's c b d r m l q'\n";
+    show_pc();
+    while (!done && out << "(dbg) " && std::getline(in, line)) {
+        auto tokens = splitWs(line);
+        if (tokens.empty())
+            continue;
+        const std::string &cmd = tokens[0];
+
+        if (cmd == "q")
+            break;
+        if (cmd == "s") {
+            uint64_t n = 1;
+            if (tokens.size() > 1) {
+                auto v = parseInt(tokens[1]);
+                if (v && *v > 0)
+                    n = static_cast<uint64_t>(*v);
+            }
+            StopReason reason = step(n);
+            if (reason == StopReason::Breakpoint)
+                out << "breakpoint\n";
+            show_pc();
+        } else if (cmd == "c") {
+            StopReason reason = cont();
+            if (reason == StopReason::Breakpoint)
+                out << "breakpoint\n";
+            show_pc();
+        } else if (cmd == "b" || cmd == "d") {
+            uint32_t addr;
+            if (tokens.size() < 2 || !resolve(tokens[1], addr)) {
+                out << "usage: " << cmd << " <addr|label>\n";
+                continue;
+            }
+            if (cmd == "b") {
+                setBreakpoint(addr);
+                out << strprintf("breakpoint at 0x%08x\n", addr);
+            } else {
+                clearBreakpoint(addr);
+                out << strprintf("cleared 0x%08x\n", addr);
+            }
+        } else if (cmd == "r") {
+            for (unsigned r = 0; r < isa::numRegs; r++) {
+                out << strprintf("%-4s 0x%08x%s",
+                                 isa::regName(r).c_str(), cpu.reg(r),
+                                 (r % 4 == 3) ? "\n" : "  ");
+            }
+            out << strprintf("pc   0x%08x  steps %llu\n", pc_,
+                             static_cast<unsigned long long>(
+                                 stepCount));
+        } else if (cmd == "m") {
+            uint32_t addr;
+            if (tokens.size() < 2 || !resolve(tokens[1], addr)) {
+                out << "usage: m <addr> [bytes]\n";
+                continue;
+            }
+            uint32_t n = 16;
+            if (tokens.size() > 2) {
+                auto v = parseInt(tokens[2]);
+                if (v && *v > 0)
+                    n = static_cast<uint32_t>(*v);
+            }
+            // Access via the CPU's memory; faults become messages.
+            out << strprintf("0x%08x:", addr);
+            for (uint32_t i = 0; i < n; i++) {
+                try {
+                    out << strprintf(" %02x",
+                                     cpu.memory().read8(addr + i));
+                } catch (const SimError &) {
+                    out << " ??";
+                }
+            }
+            out << "\n";
+        } else if (cmd == "l") {
+            uint32_t addr = pc_;
+            if (tokens.size() > 1 && !resolve(tokens[1], addr)) {
+                out << "usage: l [addr] [count]\n";
+                continue;
+            }
+            uint32_t n = 8;
+            if (tokens.size() > 2) {
+                auto v = parseInt(tokens[2]);
+                if (v && *v > 0)
+                    n = static_cast<uint32_t>(*v);
+            }
+            for (uint32_t i = 0; i < n; i++) {
+                uint32_t a = addr + i * 4;
+                if (a < prog.baseAddr || a >= prog.endAddr())
+                    break;
+                uint32_t word =
+                    prog.words[(a - prog.baseAddr) / 4];
+                out << strprintf(
+                    "%s0x%08x:  %s\n", a == pc_ ? "=> " : "   ", a,
+                    isa::disassemble(isa::decode(word), a).c_str());
+            }
+        } else {
+            out << "commands: s [n] | c | b <a> | d <a> | r | "
+                   "m <a> [n] | l [a] [n] | q\n";
+        }
+    }
+}
+
+} // namespace pb::sim

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Interactive debugger for NPE32 programs.
+ *
+ * A small command-driven debugger over the Cpu: single-step,
+ * breakpoints, register and memory inspection, disassembly.  The
+ * command interface reads from any istream and writes to any
+ * ostream, so it works both as an interactive CLI
+ * (examples/npe_debug.cc) and under unit test.
+ *
+ * Commands:
+ *   s [n]           step n instructions (default 1)
+ *   c               continue to breakpoint / SYS / fault
+ *   b <addr|label>  set a breakpoint
+ *   d <addr|label>  delete a breakpoint
+ *   r               print registers
+ *   m <addr> [n]    dump n bytes of memory (default 16)
+ *   l [addr] [n]    disassemble n instructions (default 8, at pc)
+ *   q               quit
+ */
+
+#ifndef PB_SIM_DEBUGGER_HH
+#define PB_SIM_DEBUGGER_HH
+
+#include <iosfwd>
+#include <set>
+#include <string>
+
+#include "sim/cpu.hh"
+
+namespace pb::sim
+{
+
+/** Why stepping stopped. */
+enum class StopReason
+{
+    Step,       ///< requested step count exhausted
+    Breakpoint, ///< hit a breakpoint
+    Sys,        ///< program executed SYS
+    Fault,      ///< simulator fault (memory, decode, ...)
+};
+
+/** Single-core NPE32 debugger. */
+class Debugger
+{
+  public:
+    /**
+     * @param cpu   core with a loaded program
+     * @param entry initial program counter
+     */
+    Debugger(Cpu &cpu, uint32_t entry);
+
+    /** @name Programmatic interface. @{ */
+    /** Execute up to @p max_steps instructions. */
+    StopReason step(uint64_t max_steps = 1);
+
+    /** Run until breakpoint, SYS, or fault. */
+    StopReason cont();
+
+    void setBreakpoint(uint32_t addr) { breakpoints.insert(addr); }
+    void clearBreakpoint(uint32_t addr) { breakpoints.erase(addr); }
+    const std::set<uint32_t> &breaks() const { return breakpoints; }
+
+    uint32_t pc() const { return pc_; }
+    bool finished() const { return done; }
+
+    /** SYS code that ended the program (valid once finished()). */
+    isa::SysCode stopCode() const { return sysCode; }
+
+    /** Message of the last fault (empty if none). */
+    const std::string &faultMessage() const { return fault; }
+
+    /** Total instructions stepped so far. */
+    uint64_t steps() const { return stepCount; }
+    /** @} */
+
+    /**
+     * Run the textual command loop: read commands from @p in,
+     * respond on @p out, until `q`, EOF, or program end.
+     */
+    void repl(std::istream &in, std::ostream &out);
+
+  private:
+    /** Execute exactly one instruction; updates pc/done/fault. */
+    bool stepOne();
+
+    /** Resolve "0x..." / decimal / program label to an address. */
+    bool resolve(const std::string &token, uint32_t &addr) const;
+
+    Cpu &cpu;
+    uint32_t pc_;
+    bool done = false;
+    isa::SysCode sysCode = isa::SysCode::Done;
+    std::string fault;
+    std::set<uint32_t> breakpoints;
+    uint64_t stepCount = 0;
+};
+
+} // namespace pb::sim
+
+#endif // PB_SIM_DEBUGGER_HH

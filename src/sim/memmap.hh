@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Simulated memory layout.
+ *
+ * PacketBench distinguishes three semantically different memory
+ * regions in one flat address space — exactly the distinction the
+ * paper draws between instruction memory, packet data, and program
+ * (non-packet) data.  On a real network processor these map to the
+ * instruction store, packet buffers / receive FIFOs, and SRAM/DRAM
+ * application state respectively.
+ */
+
+#ifndef PB_SIM_MEMMAP_HH
+#define PB_SIM_MEMMAP_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace pb::sim
+{
+
+/** Semantic class of a memory address. */
+enum class MemRegion : uint8_t
+{
+    Text,     ///< instruction memory
+    Data,     ///< application state (routing tables, flow tables, ...)
+    Packet,   ///< the packet currently being processed
+    Stack,    ///< call stack (counts as non-packet data)
+    Unmapped,
+};
+
+/** Human-readable region name. */
+std::string_view memRegionName(MemRegion region);
+
+/** True for regions the paper calls "non-packet memory". */
+constexpr bool
+isNonPacketData(MemRegion region)
+{
+    return region == MemRegion::Data || region == MemRegion::Stack;
+}
+
+/** Default memory layout (bases and sizes in bytes). */
+namespace layout
+{
+
+constexpr uint32_t textBase = 0x0000'1000;
+constexpr uint32_t textSize = 256 * 1024;
+
+constexpr uint32_t dataBase = 0x0010'0000;
+constexpr uint32_t dataSize = 16 * 1024 * 1024;
+
+constexpr uint32_t packetBase = 0x0800'0000;
+constexpr uint32_t packetSize = 64 * 1024;
+
+constexpr uint32_t stackBase = 0x7fff'0000;
+constexpr uint32_t stackSize = 64 * 1024;
+
+/** Initial stack pointer (16-byte aligned, just below the top). */
+constexpr uint32_t stackTop = stackBase + stackSize - 16;
+
+} // namespace layout
+
+} // namespace pb::sim
+
+#endif // PB_SIM_MEMMAP_HH

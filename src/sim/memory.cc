@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Simulated memory implementation.
+ */
+
+#include "memory.hh"
+
+#include <cstring>
+
+#include "common/bitops.hh"
+
+namespace pb::sim
+{
+
+std::string_view
+memRegionName(MemRegion region)
+{
+    switch (region) {
+      case MemRegion::Text:
+        return "text";
+      case MemRegion::Data:
+        return "data";
+      case MemRegion::Packet:
+        return "packet";
+      case MemRegion::Stack:
+        return "stack";
+      case MemRegion::Unmapped:
+        return "unmapped";
+    }
+    return "unmapped";
+}
+
+Memory::Memory()
+{
+    using namespace layout;
+    regions.push_back(
+        {textBase, textSize, MemRegion::Text,
+         std::vector<uint8_t>(textSize, 0)});
+    regions.push_back(
+        {dataBase, dataSize, MemRegion::Data,
+         std::vector<uint8_t>(dataSize, 0)});
+    regions.push_back(
+        {packetBase, packetSize, MemRegion::Packet,
+         std::vector<uint8_t>(packetSize, 0)});
+    regions.push_back(
+        {stackBase, stackSize, MemRegion::Stack,
+         std::vector<uint8_t>(stackSize, 0)});
+}
+
+MemRegion
+Memory::classify(uint32_t addr) const
+{
+    for (const auto &region : regions) {
+        if (region.contains(addr))
+            return region.kind;
+    }
+    return MemRegion::Unmapped;
+}
+
+const Memory::Region &
+Memory::find(uint32_t addr, uint32_t len) const
+{
+    for (const auto &region : regions) {
+        if (region.contains(addr)) {
+            if (len > region.size - (addr - region.base)) {
+                throw MemoryError(strprintf(
+                    "access [0x%x, +%u) crosses the end of the %s region",
+                    addr, len,
+                    std::string(memRegionName(region.kind)).c_str()));
+            }
+            return region;
+        }
+    }
+    throw MemoryError(
+        strprintf("access to unmapped address 0x%x (%u bytes)", addr,
+                  len));
+}
+
+Memory::Region &
+Memory::find(uint32_t addr, uint32_t len)
+{
+    return const_cast<Region &>(
+        static_cast<const Memory *>(this)->find(addr, len));
+}
+
+uint8_t
+Memory::read8(uint32_t addr) const
+{
+    const Region &region = find(addr, 1);
+    return region.bytes[addr - region.base];
+}
+
+uint16_t
+Memory::read16(uint32_t addr) const
+{
+    if (!isAligned(addr, 2))
+        throw AlignmentError(
+            strprintf("misaligned 16-bit read at 0x%x", addr));
+    const Region &region = find(addr, 2);
+    const uint8_t *p = &region.bytes[addr - region.base];
+    return static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+
+uint32_t
+Memory::read32(uint32_t addr) const
+{
+    if (!isAligned(addr, 4))
+        throw AlignmentError(
+            strprintf("misaligned 32-bit read at 0x%x", addr));
+    const Region &region = find(addr, 4);
+    const uint8_t *p = &region.bytes[addr - region.base];
+    return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+}
+
+void
+Memory::write8(uint32_t addr, uint8_t value)
+{
+    Region &region = find(addr, 1);
+    region.bytes[addr - region.base] = value;
+}
+
+void
+Memory::write16(uint32_t addr, uint16_t value)
+{
+    if (!isAligned(addr, 2))
+        throw AlignmentError(
+            strprintf("misaligned 16-bit write at 0x%x", addr));
+    Region &region = find(addr, 2);
+    uint8_t *p = &region.bytes[addr - region.base];
+    p[0] = static_cast<uint8_t>(value);
+    p[1] = static_cast<uint8_t>(value >> 8);
+}
+
+void
+Memory::write32(uint32_t addr, uint32_t value)
+{
+    if (!isAligned(addr, 4))
+        throw AlignmentError(
+            strprintf("misaligned 32-bit write at 0x%x", addr));
+    Region &region = find(addr, 4);
+    uint8_t *p = &region.bytes[addr - region.base];
+    p[0] = static_cast<uint8_t>(value);
+    p[1] = static_cast<uint8_t>(value >> 8);
+    p[2] = static_cast<uint8_t>(value >> 16);
+    p[3] = static_cast<uint8_t>(value >> 24);
+}
+
+void
+Memory::writeBlock(uint32_t addr, const uint8_t *data, uint32_t len)
+{
+    if (len == 0)
+        return;
+    Region &region = find(addr, len);
+    std::memcpy(&region.bytes[addr - region.base], data, len);
+}
+
+void
+Memory::readBlock(uint32_t addr, uint8_t *data, uint32_t len) const
+{
+    if (len == 0)
+        return;
+    const Region &region = find(addr, len);
+    std::memcpy(data, &region.bytes[addr - region.base], len);
+}
+
+void
+Memory::fill(uint32_t addr, uint32_t len, uint8_t value)
+{
+    if (len == 0)
+        return;
+    Region &region = find(addr, len);
+    std::memset(&region.bytes[addr - region.base], value, len);
+}
+
+void
+Memory::reset()
+{
+    for (auto &region : regions)
+        std::fill(region.bytes.begin(), region.bytes.end(), 0);
+}
+
+} // namespace pb::sim

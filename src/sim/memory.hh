@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Simulated flat memory with semantic regions.
+ *
+ * The same Memory object is used from two sides:
+ *  - the simulated CPU performs loads/stores during application
+ *    execution (these are observed and accounted), and
+ *  - the host-side PacketBench framework reads/writes it directly to
+ *    place packets and build application data structures (these are
+ *    *not* accounted — the paper's selective accounting).
+ *
+ * Memory itself is passive; accounting is done by the CPU's observer.
+ */
+
+#ifndef PB_SIM_MEMORY_HH
+#define PB_SIM_MEMORY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/memmap.hh"
+#include "sim/simerror.hh"
+
+namespace pb::sim
+{
+
+/** Byte-addressed simulated memory composed of disjoint regions. */
+class Memory
+{
+  public:
+    /** Create memory with the default PacketBench layout. */
+    Memory();
+
+    /**
+     * Classify an address.  Returns MemRegion::Unmapped for addresses
+     * outside every region (the caller decides whether that is an
+     * error).
+     */
+    MemRegion classify(uint32_t addr) const;
+
+    /**
+     * @name Simulated-width accessors.
+     * All check mapping; 16/32-bit accesses additionally check
+     * alignment.  Multi-byte values use little-endian byte order (the
+     * NPE32 core is little-endian, like the ARM target the paper
+     * used; network-order fields are handled explicitly by
+     * application code, as on the real hardware).
+     * @{
+     */
+    uint8_t read8(uint32_t addr) const;
+    uint16_t read16(uint32_t addr) const;
+    uint32_t read32(uint32_t addr) const;
+    void write8(uint32_t addr, uint8_t value);
+    void write16(uint32_t addr, uint16_t value);
+    void write32(uint32_t addr, uint32_t value);
+    /** @} */
+
+    /** Bulk copy into simulated memory (host-side, unaccounted). */
+    void writeBlock(uint32_t addr, const uint8_t *data, uint32_t len);
+
+    /** Bulk copy out of simulated memory (host-side, unaccounted). */
+    void readBlock(uint32_t addr, uint8_t *data, uint32_t len) const;
+
+    /** Zero-fill a byte range. */
+    void fill(uint32_t addr, uint32_t len, uint8_t value = 0);
+
+    /** Zero all regions (fresh run). */
+    void reset();
+
+  private:
+    struct Region
+    {
+        uint32_t base;
+        uint32_t size;
+        MemRegion kind;
+        std::vector<uint8_t> bytes;
+
+        bool
+        contains(uint32_t addr) const
+        {
+            return addr - base < size;
+        }
+    };
+
+    /** Find the region containing [addr, addr+len); throws if none. */
+    const Region &find(uint32_t addr, uint32_t len) const;
+    Region &find(uint32_t addr, uint32_t len);
+
+    std::vector<Region> regions;
+};
+
+} // namespace pb::sim
+
+#endif // PB_SIM_MEMORY_HH

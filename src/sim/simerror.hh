@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Typed errors raised by the processor simulator.
+ */
+
+#ifndef PB_SIM_SIMERROR_HH
+#define PB_SIM_SIMERROR_HH
+
+#include "common/logging.hh"
+
+namespace pb::sim
+{
+
+/** Any error raised while executing a simulated program. */
+class SimError : public Error
+{
+  public:
+    explicit SimError(const std::string &msg) : Error(msg) {}
+};
+
+/** Access to unmapped memory or a region-boundary violation. */
+class MemoryError : public SimError
+{
+  public:
+    explicit MemoryError(const std::string &msg) : SimError(msg) {}
+};
+
+/** Misaligned load, store, or instruction fetch. */
+class AlignmentError : public SimError
+{
+  public:
+    explicit AlignmentError(const std::string &msg) : SimError(msg) {}
+};
+
+/** Fetch of an undecodable instruction word. */
+class DecodeError : public SimError
+{
+  public:
+    explicit DecodeError(const std::string &msg) : SimError(msg) {}
+};
+
+/** Program exceeded its instruction budget (runaway loop guard). */
+class BudgetError : public SimError
+{
+  public:
+    explicit BudgetError(const std::string &msg) : SimError(msg) {}
+};
+
+} // namespace pb::sim
+
+#endif // PB_SIM_SIMERROR_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Pipeline timing model implementation.
+ */
+
+#include "timing.hh"
+
+namespace pb::sim
+{
+
+using isa::Format;
+using isa::InstClass;
+using isa::Op;
+
+PipelineTimer::PipelineTimer(TimingParams params)
+    : params_(params),
+      icache(params.icacheBytes, params.cacheLineBytes,
+             params.cacheWays),
+      dcache(params.dcacheBytes, params.cacheLineBytes,
+             params.cacheWays),
+      predictor()
+{}
+
+void
+PipelineTimer::onInst(uint32_t addr, const isa::Inst &inst)
+{
+    insts_++;
+    cycles_++;
+    if (!icache.access(addr))
+        cycles_ += params_.icacheMissPenalty;
+
+    const isa::OpInfo &info = isa::opInfo(inst.op);
+
+    // Load-use interlock: does this instruction read the register a
+    // load produced in the immediately preceding cycle?
+    if (pendingLoadReg != 0xff && pendingLoadReg != 0) {
+        bool uses = inst.rs == pendingLoadReg &&
+                    info.format != Format::Jump &&
+                    info.format != Format::Sys &&
+                    inst.op != Op::LUI;
+        // rt is a source for R-type and branches; rd is the *source*
+        // for stores.
+        if (info.format == Format::RType ||
+            info.format == Format::Branch) {
+            uses = uses || inst.rt == pendingLoadReg;
+        }
+        if (info.format == Format::Store)
+            uses = uses || inst.rd == pendingLoadReg;
+        if (uses)
+            cycles_ += params_.loadUseStall;
+    }
+    pendingLoadReg =
+        info.cls == InstClass::Load ? inst.rd : 0xff;
+
+    if (info.cls == InstClass::IntMul)
+        cycles_ += params_.mulLatency;
+    if (info.cls == InstClass::Jump)
+        cycles_ += params_.jumpBubble;
+}
+
+void
+PipelineTimer::onMemAccess(const MemAccessEvent &event)
+{
+    if (!dcache.access(event.addr))
+        cycles_ += params_.dcacheMissPenalty;
+}
+
+void
+PipelineTimer::onBranch(uint32_t addr, bool taken, uint32_t target)
+{
+    (void)target;
+    uint64_t before = predictor.mispredicts();
+    predictor.update(addr, taken);
+    if (predictor.mispredicts() != before)
+        cycles_ += params_.branchMispredict;
+}
+
+} // namespace pb::sim

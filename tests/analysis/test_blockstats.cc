@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Block probability and coverage-curve tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/blockstats.hh"
+
+namespace
+{
+
+using namespace pb;
+using namespace pb::an;
+
+sim::PacketStats
+withBlocks(std::vector<uint32_t> blocks)
+{
+    sim::PacketStats stats;
+    stats.blocks = std::move(blocks);
+    return stats;
+}
+
+TEST(BlockStats, Probabilities)
+{
+    std::vector<sim::PacketStats> packets;
+    packets.push_back(withBlocks({0, 1}));
+    packets.push_back(withBlocks({0, 2}));
+    packets.push_back(withBlocks({0, 1, 2}));
+    packets.push_back(withBlocks({0}));
+
+    auto p = blockProbabilities(packets, 4);
+    ASSERT_EQ(p.size(), 4u);
+    EXPECT_DOUBLE_EQ(p[0], 1.0);
+    EXPECT_DOUBLE_EQ(p[1], 0.5);
+    EXPECT_DOUBLE_EQ(p[2], 0.5);
+    EXPECT_DOUBLE_EQ(p[3], 0.0);
+}
+
+TEST(BlockStats, CoverageCurveGreedy)
+{
+    // Block 0 always used; block 1 by 75%; block 2 by 25%.
+    std::vector<sim::PacketStats> packets;
+    packets.push_back(withBlocks({0, 1}));
+    packets.push_back(withBlocks({0, 1}));
+    packets.push_back(withBlocks({0, 1}));
+    packets.push_back(withBlocks({0, 2}));
+
+    auto curve = coverageCurve(packets, 3);
+    ASSERT_EQ(curve.size(), 3u);
+    // Install order: 0, 1, 2.
+    EXPECT_DOUBLE_EQ(curve[0].packetFraction, 0.0); // {0} covers none
+    EXPECT_DOUBLE_EQ(curve[1].packetFraction, 0.75);
+    EXPECT_DOUBLE_EQ(curve[2].packetFraction, 1.0);
+    // Monotone.
+    for (size_t i = 1; i < curve.size(); i++)
+        EXPECT_GE(curve[i].packetFraction,
+                  curve[i - 1].packetFraction);
+}
+
+TEST(BlockStats, BlocksForCoverage)
+{
+    std::vector<CoveragePoint> curve = {
+        {1, 0.1}, {2, 0.5}, {3, 0.92}, {4, 1.0}};
+    EXPECT_EQ(blocksForCoverage(curve, 0.9), 3u);
+    EXPECT_EQ(blocksForCoverage(curve, 0.05), 1u);
+    EXPECT_EQ(blocksForCoverage(curve, 1.0), 4u);
+    // Unreachable fraction clamps to the last point.
+    std::vector<CoveragePoint> partial = {{1, 0.4}, {2, 0.6}};
+    EXPECT_EQ(blocksForCoverage(partial, 0.99), 2u);
+}
+
+TEST(BlockStats, UnusedBlocksDoNotBlockCoverage)
+{
+    // Packets use only block 0 of 10; one installed block suffices.
+    std::vector<sim::PacketStats> packets(5, withBlocks({0}));
+    auto curve = coverageCurve(packets, 10);
+    EXPECT_DOUBLE_EQ(curve[0].packetFraction, 1.0);
+}
+
+TEST(BlockStats, EmptyRunIsFatal)
+{
+    std::vector<sim::PacketStats> none;
+    EXPECT_THROW(blockProbabilities(none, 3), FatalError);
+}
+
+TEST(BlockStats, OutOfRangeBlockPanics)
+{
+    std::vector<sim::PacketStats> packets{withBlocks({7})};
+    EXPECT_THROW(blockProbabilities(packets, 3), PanicError);
+}
+
+} // namespace

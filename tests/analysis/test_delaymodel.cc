@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Delay model and multi-core dispatch tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/delaymodel.hh"
+
+namespace
+{
+
+using namespace pb;
+using namespace pb::an;
+
+sim::PacketStats
+statsOf(uint64_t insts, uint32_t pkt, uint32_t nonpkt)
+{
+    sim::PacketStats stats;
+    stats.instCount = insts;
+    stats.packetReads = pkt;
+    stats.nonPacketReads = nonpkt;
+    return stats;
+}
+
+TEST(DelayModel, ComputesCycleBudget)
+{
+    CoreModel core;
+    core.clockMhz = 1000.0; // 1 cycle = 1 ns
+    core.cpi = 1.0;
+    core.packetMemCycles = 4.0;
+    core.dataMemCycles = 10.0;
+    // 100 insts + 5*4 + 10*10 = 220 cycles = 0.22 usec.
+    EXPECT_NEAR(packetDelayUsec(statsOf(100, 5, 10), core), 0.22,
+                1e-9);
+}
+
+TEST(DelayModel, SummaryMeanMaxThroughput)
+{
+    CoreModel core;
+    core.clockMhz = 1000.0;
+    core.cpi = 1.0;
+    core.packetMemCycles = 0.0;
+    core.dataMemCycles = 0.0;
+    std::vector<sim::PacketStats> run = {statsOf(1000, 0, 0),
+                                         statsOf(3000, 0, 0)};
+    DelaySummary summary = summarizeDelay(run, core);
+    EXPECT_NEAR(summary.meanUsec, 2.0, 1e-9);
+    EXPECT_NEAR(summary.maxUsec, 3.0, 1e-9);
+    EXPECT_NEAR(summary.corePacketsPerSec, 500'000.0, 1.0);
+}
+
+TEST(DelayModel, EmptyRunIsFatal)
+{
+    CoreModel core;
+    EXPECT_THROW(summarizeDelay({}, core), FatalError);
+    EXPECT_THROW(simulateParallel({}, {}, 2), FatalError);
+    EXPECT_THROW(simulateParallel({1.0}, {}, 0), FatalError);
+    EXPECT_THROW(simulateParallel({1.0}, {0.0, 1.0}, 1), FatalError);
+}
+
+TEST(Parallel, SaturationThroughputScalesWithCores)
+{
+    // 1000 packets of 1 usec each, back to back.
+    std::vector<double> service(1000, 1.0);
+    ParallelResult one = simulateParallel(service, {}, 1);
+    ParallelResult four = simulateParallel(service, {}, 4);
+    EXPECT_NEAR(one.throughputPps, 1e6, 1e3);
+    EXPECT_NEAR(four.throughputPps, 4e6, 4e4);
+    EXPECT_NEAR(one.utilization, 1.0, 0.01);
+    EXPECT_NEAR(four.utilization, 1.0, 0.01);
+}
+
+TEST(Parallel, IdleArrivalsBoundSojourn)
+{
+    // Arrivals 10 usec apart, service 1 usec: never queue.
+    std::vector<double> service(100, 1.0);
+    std::vector<double> arrivals;
+    for (int i = 0; i < 100; i++)
+        arrivals.push_back(i * 10.0);
+    ParallelResult result = simulateParallel(service, arrivals, 1);
+    EXPECT_NEAR(result.meanSojournUsec, 1.0, 1e-9);
+    EXPECT_LT(result.utilization, 0.2);
+}
+
+TEST(Parallel, OverloadQueuesOnFewCores)
+{
+    // Arrivals 1 usec apart, service 3 usec: one core queues badly,
+    // four cores keep up.
+    std::vector<double> service(300, 3.0);
+    std::vector<double> arrivals;
+    for (int i = 0; i < 300; i++)
+        arrivals.push_back(static_cast<double>(i));
+    ParallelResult one = simulateParallel(service, arrivals, 1);
+    ParallelResult four = simulateParallel(service, arrivals, 4);
+    EXPECT_GT(one.meanSojournUsec, 100.0);
+    EXPECT_LT(four.meanSojournUsec, 10.0);
+}
+
+TEST(Parallel, HeterogeneousServiceTimes)
+{
+    // Mixed light/heavy packets: throughput sits between the
+    // all-light and all-heavy extremes.
+    std::vector<double> service;
+    for (int i = 0; i < 500; i++)
+        service.push_back(i % 2 ? 0.5 : 2.0);
+    ParallelResult result = simulateParallel(service, {}, 2);
+    EXPECT_GT(result.throughputPps, 2e6 / 2.0);
+    EXPECT_LT(result.throughputPps, 2e6 / 0.5);
+}
+
+} // namespace

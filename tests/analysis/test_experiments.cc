@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Integration tests over the experiment harness: run the paper's
+ * experiments at reduced scale and assert the qualitative results
+ * the paper reports (orderings, constancy, coverage shapes).
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/blockstats.hh"
+#include "analysis/experiments.hh"
+#include "analysis/instpattern.hh"
+#include "analysis/occurrence.hh"
+
+namespace
+{
+
+using namespace pb;
+using namespace pb::an;
+
+ExperimentConfig
+smallConfig()
+{
+    ExperimentConfig cfg;
+    cfg.coreTablePrefixes = 4096; // keep test setup fast
+    return cfg;
+}
+
+TEST(Experiments, Table2OrderingMatchesPaper)
+{
+    // Paper Table II: radix >> TSA > trie > flow classification.
+    // Use the full-size core table: the radix/TSA margin depends on
+    // the routing-table depth, as in the paper's MAE-WEST setup.
+    ExperimentConfig cfg;
+    double means[4];
+    for (size_t i = 0; i < 4; i++) {
+        means[i] =
+            runApp(allAppKinds[i], net::Profile::MRA, 400, cfg)
+                .meanInsts();
+    }
+    double radix = means[0];
+    double trie = means[1];
+    double flow = means[2];
+    double tsa = means[3];
+    EXPECT_GT(radix, tsa);
+    EXPECT_GT(tsa, trie);
+    EXPECT_GT(trie, flow);
+    EXPECT_GT(radix, trie * 3) << "radix must dwarf trie";
+}
+
+TEST(Experiments, Table3PacketAccessesNearConstantAcrossTraces)
+{
+    // Paper Table III: packet-memory accesses are essentially the
+    // same for every trace; forwarding apps land near 32.
+    ExperimentConfig cfg = smallConfig();
+    for (AppKind kind : {AppKind::Ipv4Radix, AppKind::Ipv4Trie}) {
+        double lo = 1e9;
+        double hi = 0;
+        for (net::Profile profile : net::allProfiles) {
+            double mean =
+                runApp(kind, profile, 200, cfg).meanPacketAccesses();
+            lo = std::min(lo, mean);
+            hi = std::max(hi, mean);
+        }
+        // Dropped packets (failed RFC1812 checks) touch the packet
+        // slightly less, and only scrambled traces have them, so
+        // allow a small spread around the forwarding path's ~33.
+        EXPECT_NEAR(lo, 31.5, 2.5);
+        EXPECT_LT(hi - lo, 3.0) << appTitle(kind);
+    }
+}
+
+TEST(Experiments, Table3NonPacketDominatedByRadix)
+{
+    ExperimentConfig cfg = smallConfig();
+    double radix = runApp(AppKind::Ipv4Radix, net::Profile::COS, 200,
+                          cfg)
+                       .meanNonPacketAccesses();
+    double trie =
+        runApp(AppKind::Ipv4Trie, net::Profile::COS, 200, cfg)
+            .meanNonPacketAccesses();
+    EXPECT_GT(radix, trie * 10);
+}
+
+TEST(Experiments, Table4MemorySizes)
+{
+    // Paper Table IV: data memory large for radix and flow
+    // classification, small for trie and TSA; instruction memory
+    // largest for radix.
+    ExperimentConfig cfg = smallConfig();
+    uint64_t inst[4];
+    uint64_t data[4];
+    for (size_t i = 0; i < 4; i++) {
+        AppRun run =
+            runApp(allAppKinds[i], net::Profile::MRA, 1000, cfg);
+        inst[i] = run.instMemoryBytes;
+        data[i] = run.dataMemoryBytes;
+    }
+    EXPECT_GT(inst[0], inst[1]) << "radix text > trie text";
+    EXPECT_GT(data[0], 10000u) << "radix touches a large table";
+    EXPECT_LT(data[1], data[0] / 3) << "trie table is small";
+    EXPECT_GT(data[2], data[1]) << "flow table grows with flows";
+    // TSA touches its fixed tables plus the record area.
+    EXPECT_GT(data[3], 1000u);
+}
+
+TEST(Experiments, Table5TopOccurrencesDominate)
+{
+    // Paper Table V: for trie / flow / TSA the top-3 instruction
+    // counts cover ~90% of packets; radix is much flatter.
+    ExperimentConfig cfg = smallConfig();
+    double top3[4];
+    for (size_t i = 0; i < 4; i++) {
+        AppRun run =
+            runApp(allAppKinds[i], net::Profile::COS, 2000, cfg);
+        std::vector<uint64_t> values;
+        for (const auto &s : run.stats)
+            values.push_back(s.instCount);
+        OccurrenceSummary summary = summarize(values, 3);
+        top3[i] = 0;
+        for (const auto &occurrence : summary.top)
+            top3[i] += occurrence.pct;
+    }
+    EXPECT_LT(top3[0], 75.0) << "radix spreads over many counts";
+    EXPECT_GT(top3[1], 60.0) << "trie dominated by few cases";
+    EXPECT_GT(top3[2], 75.0) << "flow dominated by few cases";
+    EXPECT_GT(top3[3], 90.0) << "TSA nearly constant";
+}
+
+TEST(Experiments, Table6UniqueVariationSmallerThanTotal)
+{
+    // Paper Tables V/VI: unique-instruction counts vary much less
+    // than total instruction counts; radix and TSA re-execute
+    // instructions heavily (repetition factor ~4x in the paper),
+    // trie and flow are nearly straight-line.
+    ExperimentConfig cfg = smallConfig();
+    AppRun radix =
+        runApp(AppKind::Ipv4Radix, net::Profile::COS, 500, cfg);
+    double total = 0;
+    double unique = 0;
+    for (const auto &s : radix.stats) {
+        total += static_cast<double>(s.instCount);
+        unique += s.uniqueInstCount;
+    }
+    EXPECT_GT(total / unique, 2.0) << "radix repeats its loop body";
+
+    AppRun flow =
+        runApp(AppKind::FlowClass, net::Profile::COS, 500, cfg);
+    total = unique = 0;
+    for (const auto &s : flow.stats) {
+        total += static_cast<double>(s.instCount);
+        unique += s.uniqueInstCount;
+    }
+    EXPECT_LT(total / unique, 1.6) << "flow is nearly linear code";
+}
+
+TEST(Experiments, Fig6LoopsVisibleInRadixNotFlow)
+{
+    // Paper Fig. 6: radix shows heavy instruction repetition (loops),
+    // flow classification is almost linear.
+    ExperimentConfig cfg = smallConfig();
+    sim::RecorderConfig recorder;
+    recorder.instTrace = true;
+    AppRun radix =
+        runApp(AppKind::Ipv4Radix, net::Profile::MRA, 1, cfg, recorder);
+    AppRun flow =
+        runApp(AppKind::FlowClass, net::Profile::MRA, 1, cfg, recorder);
+    auto radix_series = uniqueIndexSeries(radix.stats[0].instTrace);
+    auto flow_series = uniqueIndexSeries(flow.stats[0].instTrace);
+    EXPECT_GT(countBackJumps(radix_series), 15u);
+    EXPECT_LT(countBackJumps(flow_series), 8u);
+}
+
+TEST(Experiments, Fig7MostBlocksAlwaysExecuted)
+{
+    // Paper Fig. 7: most blocks run for every packet (probability 1)
+    // with a tail of rare special-case blocks.
+    ExperimentConfig cfg = smallConfig();
+    sim::RecorderConfig recorder;
+    recorder.blockSets = true;
+    AppRun run = runApp(AppKind::FlowClass, net::Profile::MRA, 500,
+                        cfg, recorder);
+    auto p = blockProbabilities(run.stats, run.numBlocks);
+    uint32_t always = 0;
+    uint32_t rare = 0;
+    for (double probability : p) {
+        if (probability > 0.999)
+            always++;
+        if (probability < 0.2)
+            rare++;
+    }
+    EXPECT_GT(always, run.numBlocks / 3);
+    EXPECT_GT(rare, 0u) << "some special-case blocks must be rare";
+}
+
+TEST(Experiments, Fig8CoverageReaches90PercentBeforeAllBlocks)
+{
+    // Paper Fig. 8: >90% of packets are processable with fewer than
+    // all basic blocks (the "sweet spot").
+    ExperimentConfig cfg = smallConfig();
+    sim::RecorderConfig recorder;
+    recorder.blockSets = true;
+    for (AppKind kind : {AppKind::Ipv4Radix, AppKind::FlowClass}) {
+        AppRun run =
+            runApp(kind, net::Profile::MRA, 500, cfg, recorder);
+        auto curve = coverageCurve(run.stats, run.numBlocks);
+        uint32_t sweet = blocksForCoverage(curve, 0.9);
+        EXPECT_LT(sweet, run.numBlocks) << appTitle(kind);
+        EXPECT_GE(curve.back().packetFraction, 0.999);
+    }
+}
+
+TEST(Experiments, Fig9RadixFrontLoadsPacketAccesses)
+{
+    // Paper Fig. 9: radix reads the packet header up front, then
+    // works entirely in non-packet memory; flow classification
+    // interleaves both throughout.
+    ExperimentConfig cfg = smallConfig();
+    sim::RecorderConfig recorder;
+    recorder.memTrace = true;
+    AppRun radix =
+        runApp(AppKind::Ipv4Radix, net::Profile::MRA, 1, cfg, recorder);
+    const auto &trace = radix.stats[0].memTrace;
+    ASSERT_FALSE(trace.empty());
+    // Find the last packet-memory READ; the walk after it must be a
+    // long non-packet streak (TTL/checksum writes come at the end).
+    size_t last_packet_read = 0;
+    for (size_t i = 0; i < trace.size(); i++) {
+        if (trace[i].event.region == sim::MemRegion::Packet &&
+            !trace[i].event.isStore) {
+            last_packet_read = i;
+        }
+    }
+    // Count the longest run of consecutive non-packet accesses.
+    size_t longest = 0;
+    size_t current = 0;
+    for (const auto &access : trace) {
+        if (access.event.region != sim::MemRegion::Packet) {
+            current++;
+            longest = std::max(longest, current);
+        } else {
+            current = 0;
+        }
+    }
+    EXPECT_GT(longest, trace.size() / 2)
+        << "radix walk is one long non-packet phase";
+    (void)last_packet_read;
+}
+
+TEST(Experiments, RenderersProduceOutput)
+{
+    // Smoke coverage of every renderer at tiny scale.
+    ExperimentConfig cfg = smallConfig();
+    EXPECT_NE(renderTable1().find("MRA"), std::string::npos);
+    EXPECT_NE(renderTable2(cfg, 50).find("IPv4-radix"),
+              std::string::npos);
+    EXPECT_NE(renderTable3(cfg, 50).find("Non-pkt"),
+              std::string::npos);
+    EXPECT_NE(renderTable4(cfg, 50).find("Data memory"),
+              std::string::npos);
+    EXPECT_NE(renderTable5(cfg, 200).find("%"), std::string::npos);
+    EXPECT_NE(renderTable6(cfg, 200).find("%"), std::string::npos);
+    EXPECT_NE(renderFig3(cfg, 20).find("# packet"),
+              std::string::npos);
+    EXPECT_NE(renderFig4(cfg, 20).find("packet memory"),
+              std::string::npos);
+    EXPECT_NE(renderFig5(cfg, 20).find("non-packet"),
+              std::string::npos);
+    EXPECT_NE(renderFig6(cfg).find("unique_index"),
+              std::string::npos);
+    EXPECT_NE(renderFig7(cfg, 50).find("probability"),
+              std::string::npos);
+    EXPECT_NE(renderFig8(cfg, 50).find("coverage"),
+              std::string::npos);
+    EXPECT_NE(renderFig9(cfg).find("instruction"),
+              std::string::npos);
+}
+
+} // namespace

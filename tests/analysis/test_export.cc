@@ -1,0 +1,103 @@
+/**
+ * @file
+ * CSV export tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/export.hh"
+#include "sim/memmap.hh"
+
+namespace
+{
+
+using namespace pb;
+using namespace pb::an;
+
+std::vector<std::string>
+lines(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::stringstream stream(text);
+    std::string line;
+    while (std::getline(stream, line))
+        out.push_back(line);
+    return out;
+}
+
+TEST(ExportCsv, StatsHaveHeaderAndRows)
+{
+    sim::PacketStats a;
+    a.instCount = 100;
+    a.uniqueInstCount = 40;
+    a.packetReads = 5;
+    a.packetWrites = 1;
+    a.nonPacketReads = 7;
+    a.nonPacketWrites = 2;
+    sim::PacketStats b;
+    b.instCount = 200;
+
+    std::stringstream out;
+    writeStatsCsv(out, {a, b});
+    auto rows = lines(out.str());
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_EQ(rows[0],
+              "packet,insts,unique_insts,pkt_reads,pkt_writes,"
+              "nonpkt_reads,nonpkt_writes");
+    EXPECT_EQ(rows[1], "0,100,40,5,1,7,2");
+    EXPECT_EQ(rows[2], "1,200,0,0,0,0,0");
+}
+
+TEST(ExportCsv, Series)
+{
+    std::stringstream out;
+    writeSeriesCsv(out, "x", "y", {{1.0, 2.5}, {2.0, 3.5}});
+    auto rows = lines(out.str());
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_EQ(rows[0], "x,y");
+    EXPECT_EQ(rows[1], "1,2.5");
+}
+
+TEST(ExportCsv, Coverage)
+{
+    std::stringstream out;
+    writeCoverageCsv(out, {{1, 0.25}, {2, 1.0}});
+    auto rows = lines(out.str());
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_EQ(rows[0], "blocks,coverage");
+    EXPECT_EQ(rows[1], "1,0.25");
+    EXPECT_EQ(rows[2], "2,1");
+}
+
+TEST(ExportCsv, MemTrace)
+{
+    sim::PacketStats::TracedAccess access;
+    access.instIndex = 12;
+    access.event = {sim::layout::packetBase, 4, false,
+                    sim::MemRegion::Packet};
+    sim::PacketStats::TracedAccess store;
+    store.instIndex = 13;
+    store.event = {sim::layout::dataBase + 8, 1, true,
+                   sim::MemRegion::Data};
+
+    std::stringstream out;
+    writeMemTraceCsv(out, {access, store});
+    auto rows = lines(out.str());
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_EQ(rows[0], "inst_index,region,rw,addr,size");
+    EXPECT_EQ(rows[1], strprintf("12,packet,R,%u,4",
+                                 sim::layout::packetBase));
+    EXPECT_EQ(rows[2], strprintf("13,data,W,%u,1",
+                                 sim::layout::dataBase + 8));
+}
+
+TEST(ExportCsv, EmptyInputsProduceHeaderOnly)
+{
+    std::stringstream out;
+    writeStatsCsv(out, {});
+    EXPECT_EQ(lines(out.str()).size(), 1u);
+}
+
+} // namespace

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Weighted flow graph tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/flowgraph.hh"
+#include "analysis/experiments.hh"
+#include "isa/assembler.hh"
+#include "sim/memmap.hh"
+
+namespace
+{
+
+using namespace pb;
+using namespace pb::an;
+
+/** Build a block map and collect a trace by running the program. */
+struct Harness
+{
+    explicit Harness(const std::string &src)
+        : prog(isa::Assembler(sim::layout::textBase).assemble(src)),
+          blocks(prog),
+          cpu(mem)
+    {
+        cpu.loadProgram(prog);
+    }
+
+    std::vector<uint32_t>
+    trace()
+    {
+        sim::RecorderConfig cfg;
+        cfg.instTrace = true;
+        sim::PacketRecorder rec(prog, blocks, cfg);
+        cpu.setObserver(&rec);
+        rec.beginPacket();
+        cpu.resetRegs();
+        cpu.run(prog.entry("main"));
+        auto stats = rec.endPacket();
+        cpu.setObserver(nullptr);
+        return stats.instTrace;
+    }
+
+    isa::Program prog;
+    sim::BlockMap blocks;
+    sim::Memory mem;
+    sim::Cpu cpu;
+};
+
+TEST(FlowGraph, LoopProducesBackEdge)
+{
+    Harness h(R"(
+        main:
+            li t0, 3
+        loop:
+            addi t0, t0, -1
+            bnez t0, loop
+            sys 0
+    )");
+    // Blocks: 0=[li] 1=[addi,bnez] 2=[sys].
+    WeightedFlowGraph graph(h.blocks);
+    graph.addPacket(h.trace());
+
+    EXPECT_EQ(graph.packets(), 1u);
+    EXPECT_EQ(graph.blockEntries(0), 1u);
+    EXPECT_EQ(graph.blockEntries(1), 3u) << "loop body entered thrice";
+    EXPECT_EQ(graph.blockEntries(2), 1u);
+
+    auto edges = graph.edges();
+    // Edges: 0->1 (x1), 1->1 (x2, back edge), 1->2 (x1).
+    ASSERT_EQ(edges.size(), 3u);
+    EXPECT_EQ(edges[0].from, 1u);
+    EXPECT_EQ(edges[0].to, 1u);
+    EXPECT_EQ(edges[0].count, 2u);
+}
+
+TEST(FlowGraph, BranchSplitsWeights)
+{
+    Harness h(R"(
+        main:
+            bnez a0, taken
+            nop
+            sys 0
+        taken:
+            sys 0
+    )");
+    WeightedFlowGraph graph(h.blocks);
+    // Run twice with a0 = 0 and a0 = 1.
+    h.cpu.resetRegs();
+    {
+        sim::RecorderConfig cfg;
+        cfg.instTrace = true;
+        sim::PacketRecorder rec(h.prog, h.blocks, cfg);
+        h.cpu.setObserver(&rec);
+        for (uint32_t a0 : {0u, 1u, 1u}) {
+            rec.beginPacket();
+            h.cpu.resetRegs();
+            h.cpu.setReg(isa::regA0, a0);
+            h.cpu.run(h.prog.entry("main"));
+            graph.addPacket(rec.endPacket().instTrace);
+        }
+    }
+    // Blocks: 0=[bnez] 1=[nop, sys] 2=[taken: sys].
+    EXPECT_EQ(graph.blockEntries(0), 3u);
+    EXPECT_EQ(graph.blockEntries(1), 1u); // fall-through once
+    EXPECT_EQ(graph.blockEntries(2), 2u); // taken twice
+    auto edges = graph.edges();
+    EXPECT_EQ(edges[0].from, 0u);
+    EXPECT_EQ(edges[0].to, 2u);
+    EXPECT_EQ(edges[0].count, 2u);
+}
+
+TEST(FlowGraph, DotOutputWellFormed)
+{
+    Harness h(R"(
+        main:
+            li t0, 2
+        loop:
+            addi t0, t0, -1
+            bnez t0, loop
+            sys 0
+    )");
+    WeightedFlowGraph graph(h.blocks);
+    graph.addPacket(h.trace());
+    std::string dot = graph.toDot("test");
+    EXPECT_NE(dot.find("digraph test {"), std::string::npos);
+    EXPECT_NE(dot.find("b1 -> b1"), std::string::npos);
+    EXPECT_NE(dot.find("}"), std::string::npos);
+    // Unexecuted blocks are omitted; executed ones labeled.
+    EXPECT_NE(dot.find("entries"), std::string::npos);
+}
+
+TEST(FlowGraph, EmptyTraceIgnored)
+{
+    Harness h("main: sys 0");
+    WeightedFlowGraph graph(h.blocks);
+    graph.addPacket({});
+    EXPECT_EQ(graph.packets(), 0u);
+    EXPECT_TRUE(graph.edges().empty());
+}
+
+TEST(FlowGraph, RealApplicationGraphIsConnectedAndWeighted)
+{
+    // The radix app over a few packets: hot loop edge must dominate.
+    ExperimentConfig cfg;
+    cfg.coreTablePrefixes = 1024;
+    sim::RecorderConfig recorder;
+    recorder.instTrace = true;
+    AppRun run =
+        runApp(AppKind::Ipv4Radix, net::Profile::MRA, 20, cfg,
+               recorder);
+
+    // Rebuild the same program to get its block map.
+    auto app = makeApp(AppKind::Ipv4Radix, cfg);
+    sim::Memory mem;
+    isa::Program prog = app->setup(mem);
+    sim::BlockMap blocks(prog);
+
+    WeightedFlowGraph graph(blocks);
+    for (const auto &stats : run.stats)
+        graph.addPacket(stats.instTrace);
+    auto edges = graph.edges();
+    ASSERT_FALSE(edges.empty());
+    // The hottest edge (walk loop) is traversed many times/packet.
+    EXPECT_GT(edges[0].count, 20u * 10);
+}
+
+} // namespace

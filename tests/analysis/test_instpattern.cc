@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Instruction-pattern (Fig. 6) analysis tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/instpattern.hh"
+
+namespace
+{
+
+using namespace pb::an;
+
+TEST(InstPattern, StraightLineIsIdentity)
+{
+    std::vector<uint32_t> trace = {0x1000, 0x1004, 0x1008};
+    auto series = uniqueIndexSeries(trace);
+    EXPECT_EQ(series, (std::vector<uint32_t>{0, 1, 2}));
+    EXPECT_EQ(countBackJumps(series), 0u);
+}
+
+TEST(InstPattern, LoopRepeatsIndices)
+{
+    // Addresses A B C B C D: B and C repeat.
+    std::vector<uint32_t> trace = {0x10, 0x14, 0x18, 0x14, 0x18, 0x1c};
+    auto series = uniqueIndexSeries(trace);
+    EXPECT_EQ(series, (std::vector<uint32_t>{0, 1, 2, 1, 2, 3}));
+    EXPECT_EQ(countBackJumps(series), 1u);
+}
+
+TEST(InstPattern, MaxIndexIsUniqueCount)
+{
+    std::vector<uint32_t> trace = {1, 2, 3, 1, 2, 3, 1, 2, 3, 4};
+    auto series = uniqueIndexSeries(trace);
+    uint32_t max_index = 0;
+    for (uint32_t v : series)
+        max_index = std::max(max_index, v);
+    EXPECT_EQ(max_index + 1, 4u);
+    // Two loop back-edges: after each full 1-2-3 repetition except
+    // the last, which continues forward to 4.
+    EXPECT_EQ(countBackJumps(series), 2u);
+}
+
+TEST(InstPattern, EmptyTrace)
+{
+    EXPECT_TRUE(uniqueIndexSeries({}).empty());
+    EXPECT_EQ(countBackJumps({}), 0u);
+}
+
+} // namespace

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Occurrence-summary tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/occurrence.hh"
+#include "common/logging.hh"
+
+namespace
+{
+
+using namespace pb;
+using namespace pb::an;
+
+TEST(Occurrence, BasicSummary)
+{
+    // 156 x6, 212 x3, 128 x1.
+    std::vector<uint64_t> values;
+    for (int i = 0; i < 6; i++)
+        values.push_back(156);
+    for (int i = 0; i < 3; i++)
+        values.push_back(212);
+    values.push_back(128);
+
+    OccurrenceSummary s = summarize(values);
+    ASSERT_EQ(s.top.size(), 3u);
+    EXPECT_EQ(s.top[0].value, 156u);
+    EXPECT_EQ(s.top[0].count, 6u);
+    EXPECT_NEAR(s.top[0].pct, 60.0, 1e-9);
+    EXPECT_EQ(s.top[1].value, 212u);
+    EXPECT_EQ(s.top[2].value, 128u);
+    EXPECT_EQ(s.min.value, 128u);
+    EXPECT_NEAR(s.min.pct, 10.0, 1e-9);
+    EXPECT_EQ(s.max.value, 212u);
+    EXPECT_NEAR(s.average, (156.0 * 6 + 212 * 3 + 128) / 10, 1e-9);
+    EXPECT_EQ(s.samples, 10u);
+}
+
+TEST(Occurrence, FewerDistinctValuesThanK)
+{
+    std::vector<uint64_t> values = {7, 7, 7};
+    OccurrenceSummary s = summarize(values, 3);
+    ASSERT_EQ(s.top.size(), 1u);
+    EXPECT_EQ(s.top[0].value, 7u);
+    EXPECT_NEAR(s.top[0].pct, 100.0, 1e-9);
+    EXPECT_EQ(s.min.value, 7u);
+    EXPECT_EQ(s.max.value, 7u);
+}
+
+TEST(Occurrence, TieBreaksAreStable)
+{
+    // Equal counts: smaller value first (map order preserved by
+    // stable sort).
+    std::vector<uint64_t> values = {5, 9, 5, 9};
+    OccurrenceSummary s = summarize(values, 2);
+    ASSERT_EQ(s.top.size(), 2u);
+    EXPECT_EQ(s.top[0].value, 5u);
+    EXPECT_EQ(s.top[1].value, 9u);
+}
+
+TEST(Occurrence, EmptyInputIsFatal)
+{
+    EXPECT_THROW(summarize({}), FatalError);
+}
+
+TEST(Occurrence, PercentagesSumBelowHundred)
+{
+    std::vector<uint64_t> values;
+    for (uint64_t i = 0; i < 100; i++)
+        values.push_back(i % 7);
+    OccurrenceSummary s = summarize(values, 3);
+    double total = 0;
+    for (const auto &occurrence : s.top)
+        total += occurrence.pct;
+    EXPECT_LE(total, 100.0 + 1e-9);
+}
+
+} // namespace

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Differential tests for the Flow Classification application: the
+ * simulated flow table must agree with the host reference exactly —
+ * flow count, per-flow packet and byte counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/flow_class.hh"
+#include "core/packetbench.hh"
+#include "net/tracegen.hh"
+
+namespace
+{
+
+using namespace pb;
+using namespace pb::apps;
+using namespace pb::core;
+using namespace pb::net;
+
+TEST(FlowClassApp, MatchesHostTableOnRealTraffic)
+{
+    FlowClassApp app(1024);
+    PacketBench bench(app);
+    flow::FlowTable host(1024);
+
+    SyntheticTrace trace(Profile::ODU, 3000, 11);
+    while (auto packet = trace.next()) {
+        FiveTuple tuple;
+        ASSERT_TRUE(parseFiveTuple(*packet, tuple));
+        // The application reads the IP total length as the byte count.
+        Ipv4ConstView ip(packet->l3());
+        host.update(tuple, ip.totalLen());
+        PacketOutcome outcome = bench.processPacket(*packet);
+        EXPECT_EQ(outcome.verdict, isa::SysCode::Send);
+    }
+
+    EXPECT_EQ(app.simFlowCount(bench.memory()), host.numFlows());
+    for (const auto &[tuple, stats] : host.all()) {
+        flow::FlowStats sim = app.simLookup(bench.memory(), tuple);
+        EXPECT_EQ(sim.packets, stats.packets);
+        EXPECT_EQ(sim.bytes, stats.bytes);
+    }
+}
+
+TEST(FlowClassApp, LanProfileToo)
+{
+    FlowClassApp app(256);
+    PacketBench bench(app);
+    flow::FlowTable host(256);
+    SyntheticTrace trace(Profile::LAN, 2000, 5);
+    while (auto packet = trace.next()) {
+        FiveTuple tuple;
+        ASSERT_TRUE(parseFiveTuple(*packet, tuple));
+        Ipv4ConstView ip(packet->l3());
+        host.update(tuple, ip.totalLen());
+        bench.processPacket(*packet);
+    }
+    EXPECT_EQ(app.simFlowCount(bench.memory()), host.numFlows());
+    for (const auto &[tuple, stats] : host.all()) {
+        flow::FlowStats sim = app.simLookup(bench.memory(), tuple);
+        EXPECT_EQ(sim.packets, stats.packets);
+        EXPECT_EQ(sim.bytes, stats.bytes);
+    }
+}
+
+TEST(FlowClassApp, NewFlowCostsMoreThanUpdateOnAverage)
+{
+    // Paper Table V: the two dominant cases are "existing flow"
+    // (cheap update) and "new flow" (more expensive insert path,
+    // 212 vs 156 instructions in the paper).  Compare the average
+    // cost of the two paths over a realistic trace.
+    FlowClassApp app(1024);
+    PacketBench bench(app);
+    flow::FlowTable host(1024);
+
+    double new_total = 0;
+    double new_n = 0;
+    double update_total = 0;
+    double update_n = 0;
+    SyntheticTrace trace(Profile::MRA, 3000, 17);
+    while (auto packet = trace.next()) {
+        FiveTuple tuple;
+        ASSERT_TRUE(parseFiveTuple(*packet, tuple));
+        Ipv4ConstView ip(packet->l3());
+        bool is_new = host.update(tuple, ip.totalLen());
+        uint64_t cost =
+            bench.processPacket(*packet).stats.instCount;
+        if (is_new) {
+            new_total += static_cast<double>(cost);
+            new_n++;
+        } else {
+            update_total += static_cast<double>(cost);
+            update_n++;
+        }
+    }
+    ASSERT_GT(new_n, 50.0);
+    ASSERT_GT(update_n, 500.0);
+    EXPECT_GT(new_total / new_n, update_total / update_n + 5.0);
+    EXPECT_LT(update_total / update_n, 400.0);
+}
+
+TEST(FlowClassApp, IcmpPacketsFormPortlessFlows)
+{
+    FlowClassApp app(64);
+    PacketBench bench(app);
+    FiveTuple tuple;
+    tuple.src = 0x0a000001;
+    tuple.dst = 0x0a000002;
+    tuple.proto = 1; // ICMP
+    Packet packet;
+    packet.bytes = buildIpv4Packet(tuple, 84);
+    bench.processPacket(packet);
+    bench.processPacket(packet);
+    EXPECT_EQ(app.simFlowCount(bench.memory()), 1u);
+    flow::FlowStats stats = app.simLookup(bench.memory(), tuple);
+    EXPECT_EQ(stats.packets, 2u);
+    EXPECT_EQ(stats.bytes, 168u);
+}
+
+TEST(FlowClassApp, NonIpv4IsDropped)
+{
+    FlowClassApp app(64);
+    PacketBench bench(app);
+    Packet junk;
+    junk.bytes = std::vector<uint8_t>(40, 0);
+    junk.bytes[0] = 0x60;
+    EXPECT_EQ(bench.processPacket(junk).verdict, isa::SysCode::Drop);
+    EXPECT_EQ(app.simFlowCount(bench.memory()), 0u);
+}
+
+TEST(FlowClassApp, RejectsBadBucketCount)
+{
+    EXPECT_THROW(FlowClassApp(1000), FatalError);
+}
+
+TEST(FlowClassApp, PacketMemoryAccessesNearConstant)
+{
+    // Paper Fig. 4: packet-memory accesses barely vary per packet.
+    FlowClassApp app(1024);
+    PacketBench bench(app);
+    SyntheticTrace trace(Profile::MRA, 400, 7);
+    uint32_t lo = UINT32_MAX;
+    uint32_t hi = 0;
+    while (auto packet = trace.next()) {
+        PacketOutcome outcome = bench.processPacket(*packet);
+        lo = std::min(lo, outcome.stats.packetAccesses());
+        hi = std::max(hi, outcome.stats.packetAccesses());
+    }
+    EXPECT_LE(hi - lo, 6u);
+}
+
+} // namespace

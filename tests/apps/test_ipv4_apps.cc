@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Differential tests for the forwarding applications: the NPE32
+ * programs must agree bit-exactly with the host reference data
+ * structures on every packet, and must implement the RFC1812 steps
+ * (checksum verify, TTL handling) correctly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/ipv4_radix.hh"
+#include "apps/ipv4_trie.hh"
+#include "common/strutil.hh"
+#include "core/packetbench.hh"
+#include "net/ipv4.hh"
+#include "net/scramble.hh"
+#include "net/tracegen.hh"
+#include "route/linear.hh"
+
+namespace
+{
+
+using namespace pb;
+using namespace pb::apps;
+using namespace pb::core;
+using namespace pb::net;
+
+Packet
+makeTestPacket(uint32_t dst, uint8_t ttl = 64)
+{
+    FiveTuple tuple;
+    tuple.src = 0x0a012345;
+    tuple.dst = dst;
+    tuple.srcPort = 1234;
+    tuple.dstPort = 80;
+    tuple.proto = 6;
+    Packet packet;
+    packet.bytes = buildIpv4Packet(tuple, 40, ttl);
+    packet.wireLen = 40;
+    return packet;
+}
+
+/** Expected host-side transform of a forwarded packet. */
+std::vector<uint8_t>
+hostForward(const Packet &packet)
+{
+    std::vector<uint8_t> out = packet.bytes;
+    Ipv4View ip(out.data() + packet.l3Offset);
+    ip.setTtl(ip.ttl() - 1);
+    fillIpv4Checksum(out.data() + packet.l3Offset, 20);
+    return out;
+}
+
+template <typename App, typename LookupFn>
+void
+runForwardingDifferential(App &app, LookupFn &&host_lookup,
+                          uint32_t packets)
+{
+    BenchConfig cfg;
+    cfg.scramble = true; // the paper's preprocessing
+    PacketBench bench(app, cfg);
+    AddressScrambler scrambler(cfg.scrambleKey);
+
+    SyntheticTrace trace(Profile::MRA, packets, 42);
+    uint32_t sent = 0;
+    uint32_t dropped = 0;
+    while (auto packet = trace.next()) {
+        Ipv4ConstView orig(packet->l3());
+        uint32_t scrambled_dst = scrambler.scramble(orig.dst());
+        Packet expected_packet = *packet;
+        scrambler.scramblePacket(expected_packet);
+        std::vector<uint8_t> expected_bytes =
+            hostForward(expected_packet);
+        ForwardCheck check = rfc1812Check(expected_packet);
+
+        PacketOutcome outcome = bench.processPacket(*packet);
+        uint32_t want_hop = host_lookup(scrambled_dst);
+        if (check != ForwardCheck::Ok ||
+            want_hop == route::noRoute) {
+            EXPECT_EQ(outcome.verdict, isa::SysCode::Drop)
+                << formatIpv4(scrambled_dst) << " check "
+                << static_cast<int>(check);
+            dropped++;
+        } else {
+            ASSERT_EQ(outcome.verdict, isa::SysCode::Send)
+                << formatIpv4(scrambled_dst);
+            EXPECT_EQ(outcome.outInterface, want_hop)
+                << formatIpv4(scrambled_dst);
+            // TTL decremented, checksum recomputed, bit-exact.
+            EXPECT_EQ(packet->bytes, expected_bytes);
+            sent++;
+        }
+    }
+    // The core table has /8 coverage: everything not filtered by the
+    // RFC1812 checks (~7% of scrambled traffic) should forward.
+    EXPECT_EQ(sent + dropped, packets);
+    EXPECT_GT(sent, packets * 85 / 100);
+    EXPECT_GT(dropped, packets / 100)
+        << "some traffic must exercise the drop paths";
+}
+
+TEST(Ipv4TrieApp, AgreesWithHostTrieOnRealTraffic)
+{
+    auto table = route::generateCoreTable(1000, 5);
+    Ipv4TrieApp app(table);
+    runForwardingDifferential(
+        app, [&](uint32_t a) { return app.trie().lookup(a); }, 1500);
+}
+
+TEST(Ipv4TrieApp, AgreesWithLinearScan)
+{
+    auto table = route::generateSmallTable(160, 9);
+    Ipv4TrieApp app(table);
+    route::LinearLpm linear(table);
+    runForwardingDifferential(
+        app, [&](uint32_t a) { return linear.lookup(a); }, 800);
+}
+
+TEST(Ipv4RadixApp, AgreesWithHostRadixOnRealTraffic)
+{
+    auto table = route::generateCoreTable(1000, 5);
+    Ipv4RadixApp app(table);
+    runForwardingDifferential(
+        app, [&](uint32_t a) { return app.radix().lookup(a); }, 1000);
+}
+
+TEST(Ipv4RadixApp, AgreesWithLinearScan)
+{
+    auto table = route::generateCoreTable(300, 3);
+    Ipv4RadixApp app(table);
+    route::LinearLpm linear(table);
+    runForwardingDifferential(
+        app, [&](uint32_t a) { return linear.lookup(a); }, 600);
+}
+
+TEST(ForwardingApps, RadixAndTrieAgreeWithEachOther)
+{
+    auto table = route::generateCoreTable(500, 21);
+    Ipv4RadixApp radix_app(table);
+    Ipv4TrieApp trie_app(table);
+    PacketBench radix_bench(radix_app);
+    PacketBench trie_bench(trie_app);
+
+    SyntheticTrace trace(Profile::COS, 500, 3);
+    while (auto packet = trace.next()) {
+        Packet copy = *packet;
+        PacketOutcome a = radix_bench.processPacket(*packet);
+        PacketOutcome b = trie_bench.processPacket(copy);
+        EXPECT_EQ(a.verdict, b.verdict);
+        if (a.verdict == isa::SysCode::Send) {
+            EXPECT_EQ(a.outInterface, b.outInterface);
+            EXPECT_EQ(packet->bytes, copy.bytes);
+        }
+    }
+}
+
+class ForwardingEdgeCases
+    : public ::testing::TestWithParam<const char *>
+{
+  protected:
+    std::unique_ptr<core::Application>
+    makeApp()
+    {
+        auto table = route::generateSmallTable(64, 8);
+        if (std::string(GetParam()) == "radix")
+            return std::make_unique<Ipv4RadixApp>(table);
+        return std::make_unique<Ipv4TrieApp>(table);
+    }
+};
+
+TEST_P(ForwardingEdgeCases, TtlOneIsDropped)
+{
+    auto app = makeApp();
+    PacketBench bench(*app);
+    Packet packet = makeTestPacket(0x0a000001, 1);
+    EXPECT_EQ(bench.processPacket(packet).verdict, isa::SysCode::Drop);
+}
+
+TEST_P(ForwardingEdgeCases, TtlZeroIsDropped)
+{
+    auto app = makeApp();
+    PacketBench bench(*app);
+    Packet packet = makeTestPacket(0x0a000001, 0);
+    EXPECT_EQ(bench.processPacket(packet).verdict, isa::SysCode::Drop);
+}
+
+TEST_P(ForwardingEdgeCases, BadChecksumIsDropped)
+{
+    auto app = makeApp();
+    PacketBench bench(*app);
+    Packet packet = makeTestPacket(0x0a000001);
+    packet.bytes[ipv4::offChecksum] ^= 0x55;
+    EXPECT_EQ(bench.processPacket(packet).verdict, isa::SysCode::Drop);
+}
+
+TEST_P(ForwardingEdgeCases, MartianSourceIsDropped)
+{
+    auto app = makeApp();
+    PacketBench bench(*app);
+    for (uint32_t src : {0x00123456u, 0x7f000001u}) {
+        Packet packet = makeTestPacket(0x0a000001);
+        Ipv4View ip(packet.l3());
+        ip.setSrc(src);
+        fillIpv4Checksum(packet.l3(), 20);
+        EXPECT_EQ(bench.processPacket(packet).verdict,
+                  isa::SysCode::Drop)
+            << formatIpv4(src);
+    }
+}
+
+TEST_P(ForwardingEdgeCases, MulticastDestIsDropped)
+{
+    auto app = makeApp();
+    PacketBench bench(*app);
+    Packet packet = makeTestPacket(0xe0000001); // 224.0.0.1
+    EXPECT_EQ(bench.processPacket(packet).verdict,
+              isa::SysCode::Drop);
+}
+
+TEST_P(ForwardingEdgeCases, NonIpv4IsDropped)
+{
+    auto app = makeApp();
+    PacketBench bench(*app);
+    Packet packet = makeTestPacket(0x0a000001);
+    packet.bytes[0] = 0x65; // version 6
+    fillIpv4Checksum(packet.bytes.data(), 20);
+    EXPECT_EQ(bench.processPacket(packet).verdict, isa::SysCode::Drop);
+}
+
+TEST_P(ForwardingEdgeCases, ShortIhlIsDropped)
+{
+    auto app = makeApp();
+    PacketBench bench(*app);
+    Packet packet = makeTestPacket(0x0a000001);
+    packet.bytes[0] = 0x44; // IHL 4 < 5
+    fillIpv4Checksum(packet.bytes.data(), 20);
+    EXPECT_EQ(bench.processPacket(packet).verdict, isa::SysCode::Drop);
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, ForwardingEdgeCases,
+                         ::testing::Values("radix", "trie"));
+
+TEST(ForwardingApps, ComplexityOrderingMatchesPaper)
+{
+    // Paper Table II: radix is roughly an order of magnitude more
+    // expensive than trie, both with near-constant packet-memory
+    // access counts (Table III).
+    auto big_table = route::generateCoreTable(8192, 1);
+    auto small_table = route::generateSmallTable(160, 1);
+    Ipv4RadixApp radix_app(big_table);
+    Ipv4TrieApp trie_app(small_table);
+    BenchConfig cfg;
+    cfg.scramble = true;
+    PacketBench radix_bench(radix_app, cfg);
+    PacketBench trie_bench(trie_app, cfg);
+
+    SyntheticTrace t1(Profile::MRA, 300, 2);
+    SyntheticTrace t2(Profile::MRA, 300, 2);
+    auto radix_out = radix_bench.run(t1, 300);
+    auto trie_out = trie_bench.run(t2, 300);
+
+    auto mean_insts = [](const std::vector<PacketOutcome> &outs) {
+        double total = 0;
+        for (const auto &o : outs)
+            total += static_cast<double>(o.stats.instCount);
+        return total / static_cast<double>(outs.size());
+    };
+    double radix_mean = mean_insts(radix_out);
+    double trie_mean = mean_insts(trie_out);
+    EXPECT_GT(radix_mean, trie_mean * 3.0);
+    EXPECT_GT(radix_mean, 600.0);
+    EXPECT_LT(trie_mean, 400.0);
+
+    // Non-packet memory: radix dominated by stack+node traffic.
+    auto mean_nonpkt = [](const std::vector<PacketOutcome> &outs) {
+        double total = 0;
+        for (const auto &o : outs)
+            total += o.stats.nonPacketAccesses();
+        return total / static_cast<double>(outs.size());
+    };
+    EXPECT_GT(mean_nonpkt(radix_out), mean_nonpkt(trie_out) * 8.0);
+}
+
+} // namespace

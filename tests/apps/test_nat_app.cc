@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Differential tests for the NAT application against the host
+ * binding table.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/nat_app.hh"
+#include "core/packetbench.hh"
+#include "net/tracegen.hh"
+
+namespace
+{
+
+using namespace pb;
+using namespace pb::apps;
+using namespace pb::core;
+using namespace pb::net;
+
+Packet
+tcpPacket(uint32_t src, uint16_t sport, uint32_t dst = 0x08080808)
+{
+    FiveTuple tuple;
+    tuple.src = src;
+    tuple.dst = dst;
+    tuple.srcPort = sport;
+    tuple.dstPort = 443;
+    tuple.proto = 6;
+    Packet packet;
+    packet.bytes = buildIpv4Packet(tuple, 60);
+    packet.wireLen = 60;
+    return packet;
+}
+
+TEST(NatApp, RewritesSourceAddressAndPort)
+{
+    NatApp app(0xc6336401, 20000, 64);
+    PacketBench bench(app);
+    Packet packet = tcpPacket(0x0a000001, 1234);
+    PacketOutcome outcome = bench.processPacket(packet);
+    ASSERT_EQ(outcome.verdict, isa::SysCode::Send);
+
+    Ipv4ConstView ip(packet.l3());
+    EXPECT_EQ(ip.src(), 0xc6336401u);
+    EXPECT_EQ(loadBe16(packet.l3() + 20), 20000);
+    EXPECT_TRUE(verifyIpv4Checksum(packet.l3(), 20));
+    EXPECT_EQ(app.simBindingCount(bench.memory()), 1u);
+}
+
+TEST(NatApp, StableBindingPerFlowFreshPortPerFlow)
+{
+    NatApp app(0xc6336401, 20000, 64);
+    PacketBench bench(app);
+
+    Packet a1 = tcpPacket(0x0a000001, 1111);
+    Packet a2 = tcpPacket(0x0a000001, 1111, 0x09090909); // same src
+    Packet b = tcpPacket(0x0a000002, 1111);              // new host
+    bench.processPacket(a1);
+    bench.processPacket(a2);
+    bench.processPacket(b);
+
+    EXPECT_EQ(loadBe16(a1.l3() + 20), 20000);
+    EXPECT_EQ(loadBe16(a2.l3() + 20), 20000)
+        << "same binding for the same internal (addr, port, proto)";
+    EXPECT_EQ(loadBe16(b.l3() + 20), 20001);
+    EXPECT_EQ(app.simBindingCount(bench.memory()), 2u);
+}
+
+TEST(NatApp, MatchesHostTableOnRealTraffic)
+{
+    NatApp app(0xc0000201, 30000, 1024);
+    PacketBench bench(app);
+    flow::NatTable host(0xc0000201, 30000);
+
+    SyntheticTrace trace(Profile::ODU, 2000, 77);
+    while (auto packet = trace.next()) {
+        Packet expected = *packet;
+        host.translate(expected);
+        PacketOutcome outcome = bench.processPacket(*packet);
+        ASSERT_EQ(outcome.verdict, isa::SysCode::Send);
+        ASSERT_EQ(packet->bytes, expected.bytes);
+    }
+    EXPECT_EQ(app.simBindingCount(bench.memory()), host.bindings());
+    EXPECT_GT(host.bindings(), 50u);
+}
+
+TEST(NatApp, NonTcpUdpPassesThroughUnchanged)
+{
+    NatApp app;
+    PacketBench bench(app);
+    FiveTuple tuple;
+    tuple.src = 0x0a000001;
+    tuple.dst = 0x0a000002;
+    tuple.proto = 1; // ICMP
+    Packet packet;
+    packet.bytes = buildIpv4Packet(tuple, 84);
+    Packet orig = packet;
+    PacketOutcome outcome = bench.processPacket(packet);
+    EXPECT_EQ(outcome.verdict, isa::SysCode::Send);
+    EXPECT_EQ(packet.bytes, orig.bytes);
+    EXPECT_EQ(app.simBindingCount(bench.memory()), 0u);
+}
+
+TEST(NatApp, PortsExhaustionWrapsBenignly)
+{
+    // Allocate many bindings; ports increment monotonically from
+    // the base (16-bit wrap is the caller's concern; we only check
+    // determinism here).
+    NatApp app(0xc6336401, 65530, 64);
+    PacketBench bench(app);
+    for (uint32_t i = 0; i < 10; i++) {
+        Packet packet = tcpPacket(0x0a000100 + i, 1000);
+        bench.processPacket(packet);
+        EXPECT_EQ(loadBe16(packet.l3() + 20),
+                  static_cast<uint16_t>(65530 + i));
+    }
+    EXPECT_EQ(app.simBindingCount(bench.memory()), 10u);
+}
+
+TEST(NatApp, RejectsBadBucketCount)
+{
+    EXPECT_THROW(NatApp(1, 1, 100), FatalError);
+}
+
+TEST(NatApp, CostSitsInTheHeaderAppBand)
+{
+    // NAT is a header app: cost must be flow-classification-like,
+    // far below the payload apps.
+    NatApp app;
+    PacketBench bench(app);
+    SyntheticTrace trace(Profile::MRA, 300, 5);
+    double insts = 0;
+    uint32_t n = 0;
+    while (auto packet = trace.next()) {
+        insts += static_cast<double>(
+            bench.processPacket(*packet).stats.instCount);
+        n++;
+    }
+    EXPECT_GT(insts / n, 50.0);
+    EXPECT_LT(insts / n, 400.0);
+}
+
+} // namespace

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Differential tests for the payload-processing applications (XTEA
+ * encryption and CRC-32): the simulated programs must agree
+ * bit-exactly with the host references, and their cost must scale
+ * with payload size (the defining PPA property).
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/crc_app.hh"
+#include "apps/xtea_app.hh"
+#include "common/hash.hh"
+#include "core/packetbench.hh"
+#include "net/ipv4.hh"
+#include "net/tracegen.hh"
+
+namespace
+{
+
+using namespace pb;
+using namespace pb::apps;
+using namespace pb::core;
+using namespace pb::net;
+
+Packet
+sizedPacket(uint16_t total_len, uint8_t fill = 0xa5)
+{
+    FiveTuple tuple;
+    tuple.src = 0x0a000001;
+    tuple.dst = 0x0a000002;
+    tuple.srcPort = 5;
+    tuple.dstPort = 6;
+    tuple.proto = 17;
+    Packet packet;
+    packet.bytes = buildIpv4Packet(tuple, total_len, 64, fill);
+    packet.wireLen = total_len;
+    return packet;
+}
+
+TEST(XteaApp, MatchesHostCipherOnRealTraffic)
+{
+    XteaApp app;
+    PacketBench bench(app);
+    SyntheticTrace trace(Profile::MRA, 500, 21);
+    while (auto packet = trace.next()) {
+        Packet expected = *packet;
+        app.referenceProcess(expected);
+        PacketOutcome outcome = bench.processPacket(*packet);
+        ASSERT_EQ(outcome.verdict, isa::SysCode::Send);
+        ASSERT_EQ(packet->bytes, expected.bytes);
+    }
+}
+
+TEST(XteaApp, HeaderLeftIntactPayloadChanged)
+{
+    XteaApp app;
+    PacketBench bench(app);
+    Packet packet = sizedPacket(60);
+    Packet orig = packet;
+    bench.processPacket(packet);
+    // IP header untouched.
+    EXPECT_TRUE(std::equal(packet.bytes.begin(),
+                           packet.bytes.begin() + 20,
+                           orig.bytes.begin()));
+    // Payload encrypted.
+    EXPECT_FALSE(std::equal(packet.bytes.begin() + 20,
+                            packet.bytes.end(),
+                            orig.bytes.begin() + 20));
+    // And decryptable back to the original.
+    app.cipher().decryptBuffer(packet.bytes.data() + 20,
+                               packet.bytes.size() - 20);
+    EXPECT_EQ(packet.bytes, orig.bytes);
+}
+
+TEST(XteaApp, CostScalesWithPayloadSize)
+{
+    // The PPA property: instructions grow linearly with payload.
+    XteaApp app;
+    PacketBench bench(app);
+    uint64_t insts_small;
+    uint64_t insts_large;
+    {
+        Packet packet = sizedPacket(28 + 8); // one block
+        insts_small = bench.processPacket(packet).stats.instCount;
+    }
+    {
+        Packet packet = sizedPacket(28 + 64); // eight blocks
+        insts_large = bench.processPacket(packet).stats.instCount;
+    }
+    double per_block =
+        static_cast<double>(insts_large - insts_small) / 7.0;
+    EXPECT_GT(per_block, 500.0) << "XTEA block is ~1k instructions";
+    EXPECT_LT(per_block, 2000.0);
+    // Far heavier than any header app on large packets.
+    EXPECT_GT(insts_large, 5000u);
+}
+
+TEST(XteaApp, NonIpv4Dropped)
+{
+    XteaApp app;
+    PacketBench bench(app);
+    Packet junk;
+    junk.bytes = std::vector<uint8_t>(40, 0x61);
+    EXPECT_EQ(bench.processPacket(junk).verdict, isa::SysCode::Drop);
+}
+
+TEST(CrcApp, MatchesHostCrcOnRealTraffic)
+{
+    CrcApp app;
+    PacketBench bench(app);
+    SyntheticTrace trace(Profile::COS, 500, 31);
+    while (auto packet = trace.next()) {
+        uint32_t want = crc32(packet->l3(), packet->l3Len());
+        PacketOutcome outcome = bench.processPacket(*packet);
+        ASSERT_EQ(outcome.verdict, isa::SysCode::Send);
+        ASSERT_EQ(app.simResult(bench.memory()), want);
+    }
+}
+
+TEST(CrcApp, KnownVector)
+{
+    // CRC-32("123456789") = 0xcbf43926 — fed through the simulator.
+    CrcApp app;
+    PacketBench bench(app);
+    Packet packet;
+    packet.bytes = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+    bench.processPacket(packet);
+    EXPECT_EQ(app.simResult(bench.memory()), 0xcbf43926u);
+}
+
+TEST(CrcApp, CostScalesWithPacketSize)
+{
+    CrcApp app;
+    PacketBench bench(app);
+    Packet small = sizedPacket(40);
+    Packet large = sizedPacket(90);
+    uint64_t insts_small =
+        bench.processPacket(small).stats.instCount;
+    uint64_t insts_large =
+        bench.processPacket(large).stats.instCount;
+    double per_byte =
+        static_cast<double>(insts_large - insts_small) / 50.0;
+    EXPECT_NEAR(per_byte, 13.0, 3.0)
+        << "table-driven CRC is ~13 instructions per byte";
+}
+
+TEST(CrcApp, DoesNotModifyThePacket)
+{
+    CrcApp app;
+    PacketBench bench(app);
+    Packet packet = sizedPacket(64);
+    Packet orig = packet;
+    bench.processPacket(packet);
+    EXPECT_EQ(packet.bytes, orig.bytes);
+}
+
+} // namespace

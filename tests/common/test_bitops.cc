@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Unit tests for bit-manipulation helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.hh"
+
+namespace
+{
+
+using namespace pb;
+
+TEST(Bitops, BitsExtractsField)
+{
+    EXPECT_EQ(bits(0xdeadbeef, 0, 4), 0xfu);
+    EXPECT_EQ(bits(0xdeadbeef, 4, 8), 0xeeu);
+    EXPECT_EQ(bits(0xdeadbeef, 28, 4), 0xdu);
+    EXPECT_EQ(bits(0xdeadbeef, 0, 32), 0xdeadbeefu);
+    EXPECT_EQ(bits(0xffffffff, 5, 0), 0u);
+}
+
+TEST(Bitops, SingleBit)
+{
+    EXPECT_EQ(bit(0b1010, 1), 1u);
+    EXPECT_EQ(bit(0b1010, 0), 0u);
+    EXPECT_EQ(bit(0x80000000u, 31), 1u);
+}
+
+TEST(Bitops, InsertBits)
+{
+    EXPECT_EQ(insertBits(0, 8, 8, 0xab), 0xab00u);
+    EXPECT_EQ(insertBits(0xffffffff, 8, 8, 0), 0xffff00ffu);
+    // Field is masked to its width.
+    EXPECT_EQ(insertBits(0, 0, 4, 0x1ff), 0xfu);
+}
+
+TEST(Bitops, InsertThenExtractRoundTrips)
+{
+    for (unsigned lo = 0; lo < 28; lo += 3) {
+        for (uint32_t field = 0; field < 16; field++) {
+            uint32_t v = insertBits(0xa5a5a5a5, lo, 4, field);
+            EXPECT_EQ(bits(v, lo, 4), field) << "lo=" << lo;
+        }
+    }
+}
+
+TEST(Bitops, SignExtension)
+{
+    EXPECT_EQ(sext(0xff, 8), -1);
+    EXPECT_EQ(sext(0x7f, 8), 127);
+    EXPECT_EQ(sext(0x8000, 16), -32768);
+    EXPECT_EQ(sext(0x800000, 24), -8388608);
+    EXPECT_EQ(sext(0x1234, 16), 0x1234);
+}
+
+TEST(Bitops, Alignment)
+{
+    EXPECT_TRUE(isAligned(0, 4));
+    EXPECT_TRUE(isAligned(8, 4));
+    EXPECT_FALSE(isAligned(2, 4));
+    EXPECT_EQ(roundUp(5, 4), 8u);
+    EXPECT_EQ(roundUp(8, 4), 8u);
+    EXPECT_EQ(roundUp(0, 16), 0u);
+}
+
+TEST(Bitops, PrefixMask)
+{
+    EXPECT_EQ(prefixMask(0), 0u);
+    EXPECT_EQ(prefixMask(8), 0xff000000u);
+    EXPECT_EQ(prefixMask(24), 0xffffff00u);
+    EXPECT_EQ(prefixMask(32), 0xffffffffu);
+}
+
+TEST(Bitops, CommonPrefixLen)
+{
+    EXPECT_EQ(commonPrefixLen(0, 0), 32u);
+    EXPECT_EQ(commonPrefixLen(0x80000000, 0), 0u);
+    EXPECT_EQ(commonPrefixLen(0xc0a80000, 0xc0a80001), 31u);
+    EXPECT_EQ(commonPrefixLen(0x0a000000, 0x0b000000), 7u);
+}
+
+// Property: masking with prefixMask(l) never decreases common prefix.
+TEST(Bitops, PrefixMaskConsistentWithCommonPrefix)
+{
+    uint32_t a = 0x12345678;
+    uint32_t b = 0x12345679;
+    unsigned l = commonPrefixLen(a, b);
+    ASSERT_EQ(l, 31u);
+    for (unsigned len = 0; len <= l; len++)
+        EXPECT_EQ(a & prefixMask(len), b & prefixMask(len)) << len;
+    EXPECT_NE(a & prefixMask(32), b & prefixMask(32));
+}
+
+TEST(Bitops, PopCount)
+{
+    EXPECT_EQ(popCount(0), 0u);
+    EXPECT_EQ(popCount(0xffffffff), 32u);
+    EXPECT_EQ(popCount(0x80000001), 2u);
+}
+
+} // namespace

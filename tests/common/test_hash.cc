@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Unit tests for the hash functions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+#include "common/hash.hh"
+
+namespace
+{
+
+using namespace pb;
+
+const uint8_t sample[] = "the quick brown fox jumps over the lazy dog";
+
+TEST(Hash, JenkinsDeterministic)
+{
+    uint32_t a = jenkinsOaat(sample, sizeof(sample) - 1);
+    uint32_t b = jenkinsOaat(sample, sizeof(sample) - 1);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(jenkinsOaat(sample, sizeof(sample) - 1, 1), a)
+        << "seed must perturb the hash";
+}
+
+TEST(Hash, JenkinsSensitiveToEveryByte)
+{
+    uint8_t buf[16] = {};
+    uint32_t base = jenkinsOaat(buf, sizeof(buf));
+    for (size_t i = 0; i < sizeof(buf); i++) {
+        uint8_t copy[16] = {};
+        copy[i] = 1;
+        EXPECT_NE(jenkinsOaat(copy, sizeof(copy)), base) << "byte " << i;
+    }
+}
+
+TEST(Hash, Fnv1aKnownVectors)
+{
+    // Standard FNV-1a test vectors.
+    EXPECT_EQ(fnv1a32(nullptr, 0), 0x811c9dc5u);
+    const uint8_t a[] = {'a'};
+    EXPECT_EQ(fnv1a32(a, 1), 0xe40c292cu);
+}
+
+TEST(Hash, Crc32KnownVectors)
+{
+    // CRC-32("123456789") = 0xcbf43926 (IEEE).
+    const uint8_t digits[] = "123456789";
+    EXPECT_EQ(crc32(digits, 9), 0xcbf43926u);
+    EXPECT_EQ(crc32(nullptr, 0), 0u);
+}
+
+TEST(Hash, Crc32Seeded)
+{
+    // Chaining: crc(a+b) == crc(b, seed=crc(a)).
+    const uint8_t data[] = "hello, packet world";
+    size_t n = sizeof(data) - 1;
+    uint32_t whole = crc32(data, n);
+    uint32_t first = crc32(data, n / 2);
+    uint32_t chained = crc32(data + n / 2, n - n / 2, first);
+    EXPECT_EQ(whole, chained);
+}
+
+TEST(Hash, Mix32IsBijectiveOnSample)
+{
+    // A bijection has no collisions; check a large sample.
+    std::set<uint32_t> seen;
+    for (uint32_t i = 0; i < 100000; i++)
+        ASSERT_TRUE(seen.insert(mix32(i * 2654435761u)).second) << i;
+}
+
+TEST(Hash, Prf32KeySeparation)
+{
+    int collisions = 0;
+    for (uint32_t x = 0; x < 1000; x++) {
+        if (prf32(1, x) == prf32(2, x))
+            collisions++;
+    }
+    EXPECT_LE(collisions, 2) << "different keys should disagree";
+}
+
+TEST(Hash, Prf32Uniformity)
+{
+    // Count bits set across outputs; should be close to half.
+    uint64_t ones = 0;
+    const int n = 10000;
+    for (int i = 0; i < n; i++)
+        ones += __builtin_popcount(prf32(42, static_cast<uint32_t>(i)));
+    double frac = static_cast<double>(ones) / (32.0 * n);
+    EXPECT_NEAR(frac, 0.5, 0.01);
+}
+
+} // namespace

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Unit tests for error helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace
+{
+
+using namespace pb;
+
+TEST(Logging, StrprintfFormats)
+{
+    EXPECT_EQ(strprintf("x=%d y=%s", 42, "hi"), "x=42 y=hi");
+    EXPECT_EQ(strprintf("%08x", 0xbeefu), "0000beef");
+    EXPECT_EQ(strprintf("no args"), "no args");
+}
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("bad input %d", 7), FatalError);
+    try {
+        fatal("bad input %d", 7);
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "fatal: bad input 7");
+    }
+}
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("invariant"), PanicError);
+}
+
+TEST(Logging, ErrorHierarchy)
+{
+    // Both error kinds are catchable as pb::Error.
+    EXPECT_THROW(fatal("x"), Error);
+    EXPECT_THROW(panic("x"), Error);
+}
+
+} // namespace

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hh"
+
+namespace
+{
+
+using namespace pb;
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(1234);
+    Rng b(1234);
+    for (int i = 0; i < 1000; i++)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; i++) {
+        if (a.next() == b.next())
+            same++;
+    }
+    EXPECT_LE(same, 1);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; i++)
+        ASSERT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform)
+{
+    Rng rng(11);
+    const uint32_t buckets = 8;
+    const int n = 80000;
+    std::map<uint32_t, int> counts;
+    for (int i = 0; i < n; i++)
+        counts[rng.below(buckets)]++;
+    for (uint32_t b = 0; b < buckets; b++) {
+        EXPECT_NEAR(counts[b], n / static_cast<int>(buckets),
+                    n / buckets / 10)
+            << "bucket " << b;
+    }
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(3);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 10000; i++) {
+        uint32_t v = rng.range(5, 8);
+        ASSERT_GE(v, 5u);
+        ASSERT_LE(v, 8u);
+        saw_lo |= v == 5;
+        saw_hi |= v == 8;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(5);
+    double sum = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; i++) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, WeightedRespectsWeights)
+{
+    Rng rng(9);
+    std::vector<double> weights = {1.0, 0.0, 3.0};
+    int counts[3] = {};
+    const int n = 40000;
+    for (int i = 0; i < n; i++)
+        counts[rng.weighted(weights)]++;
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
+}
+
+TEST(Rng, WeightedErrors)
+{
+    Rng rng(1);
+    std::vector<double> zero = {0.0, 0.0};
+    EXPECT_THROW(rng.weighted(zero), PanicError);
+}
+
+TEST(Rng, GeometricBounded)
+{
+    Rng rng(13);
+    for (int i = 0; i < 1000; i++)
+        ASSERT_LE(rng.geometric(0.5, 10), 10u);
+    // p = 1 means always zero failures.
+    EXPECT_EQ(rng.geometric(1.0, 100), 0u);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(17);
+    for (int i = 0; i < 100; i++) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+} // namespace

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Unit tests for string utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/strutil.hh"
+
+namespace
+{
+
+using namespace pb;
+
+TEST(Strutil, Trim)
+{
+    EXPECT_EQ(trim("  hi  "), "hi");
+    EXPECT_EQ(trim("hi"), "hi");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("\t a b \n"), "a b");
+}
+
+TEST(Strutil, SplitPreservesEmptyFields)
+{
+    auto v = split("a,b,,c", ',');
+    ASSERT_EQ(v.size(), 4u);
+    EXPECT_EQ(v[0], "a");
+    EXPECT_EQ(v[2], "");
+    EXPECT_EQ(v[3], "c");
+    EXPECT_EQ(split("", ',').size(), 1u);
+}
+
+TEST(Strutil, SplitWs)
+{
+    auto v = splitWs("  one\ttwo   three ");
+    ASSERT_EQ(v.size(), 3u);
+    EXPECT_EQ(v[0], "one");
+    EXPECT_EQ(v[1], "two");
+    EXPECT_EQ(v[2], "three");
+    EXPECT_TRUE(splitWs("   ").empty());
+}
+
+TEST(Strutil, StartsWith)
+{
+    EXPECT_TRUE(startsWith("foobar", "foo"));
+    EXPECT_FALSE(startsWith("fo", "foo"));
+    EXPECT_TRUE(startsWith("x", ""));
+}
+
+TEST(Strutil, ParseIntDecimalAndHex)
+{
+    EXPECT_EQ(parseInt("42"), 42);
+    EXPECT_EQ(parseInt("-17"), -17);
+    EXPECT_EQ(parseInt("0x10"), 16);
+    EXPECT_EQ(parseInt(" 0xff "), 255);
+    EXPECT_EQ(parseInt("0"), 0);
+}
+
+TEST(Strutil, ParseIntRejectsGarbage)
+{
+    EXPECT_FALSE(parseInt(""));
+    EXPECT_FALSE(parseInt("abc"));
+    EXPECT_FALSE(parseInt("12x"));
+    EXPECT_FALSE(parseInt("-"));
+    EXPECT_FALSE(parseInt("0x"));
+    EXPECT_FALSE(parseInt("99999999999999999999999"));
+}
+
+TEST(Strutil, ParseIpv4)
+{
+    EXPECT_EQ(parseIpv4("10.0.0.1"), 0x0a000001u);
+    EXPECT_EQ(parseIpv4("255.255.255.255"), 0xffffffffu);
+    EXPECT_EQ(parseIpv4("0.0.0.0"), 0u);
+    EXPECT_FALSE(parseIpv4("1.2.3"));
+    EXPECT_FALSE(parseIpv4("1.2.3.4.5"));
+    EXPECT_FALSE(parseIpv4("1.2.3.256"));
+    EXPECT_FALSE(parseIpv4("a.b.c.d"));
+}
+
+TEST(Strutil, FormatIpv4RoundTrips)
+{
+    for (uint32_t addr : {0u, 0x0a000001u, 0xc0a80164u, 0xffffffffu})
+        EXPECT_EQ(parseIpv4(formatIpv4(addr)), addr);
+}
+
+TEST(Strutil, WithCommas)
+{
+    EXPECT_EQ(withCommas(0), "0");
+    EXPECT_EQ(withCommas(999), "999");
+    EXPECT_EQ(withCommas(1000), "1,000");
+    EXPECT_EQ(withCommas(4643333), "4,643,333");
+    EXPECT_EQ(withCommas(1234567890123ull), "1,234,567,890,123");
+}
+
+TEST(Strutil, ToLower)
+{
+    EXPECT_EQ(toLower("MiXeD"), "mixed");
+    EXPECT_EQ(toLower("already"), "already");
+}
+
+} // namespace

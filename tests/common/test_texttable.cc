@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Unit tests for the text table renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/texttable.hh"
+#include "common/logging.hh"
+
+namespace
+{
+
+using namespace pb;
+
+TEST(TextTable, RendersAlignedColumns)
+{
+    TextTable t(3);
+    t.header({"Name", "A", "B"});
+    t.row({"x", "1", "22"});
+    t.row({"yy", "333", "4"});
+    std::string out = t.render();
+    // Header present, separator line present, rows aligned.
+    EXPECT_NE(out.find("Name"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+    // Right-aligned numeric columns: "333" under "A".
+    std::vector<std::string> lines;
+    size_t pos = 0;
+    while (pos < out.size()) {
+        size_t eol = out.find('\n', pos);
+        lines.push_back(out.substr(pos, eol - pos));
+        pos = eol + 1;
+    }
+    ASSERT_EQ(lines.size(), 4u);
+    // All lines equal width (trailing alignment for right columns).
+    EXPECT_EQ(lines[1].size(), lines[0].size());
+}
+
+TEST(TextTable, ColumnCountEnforced)
+{
+    TextTable t(2);
+    EXPECT_THROW(t.row({"only one"}), PanicError);
+    EXPECT_THROW(t.header({"a", "b", "c"}), PanicError);
+}
+
+TEST(TextTable, ZeroColumnsRejected)
+{
+    EXPECT_THROW(TextTable(0), PanicError);
+}
+
+TEST(TextTable, RuleRendersSeparator)
+{
+    TextTable t(2);
+    t.row({"a", "b"});
+    t.rule();
+    t.row({"c", "d"});
+    std::string out = t.render();
+    EXPECT_NE(out.find('-'), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Multi-engine simulation tests: flow pinning, state partitioning,
+ * load balance, and equivalence of aggregate state with a
+ * single-engine run.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/flow_class.hh"
+#include "apps/nat_app.hh"
+#include "core/multicore.hh"
+#include "net/tracegen.hh"
+
+namespace
+{
+
+using namespace pb;
+using namespace pb::core;
+using namespace pb::net;
+
+MultiCoreBench::AppFactory
+flowFactory(uint32_t buckets)
+{
+    return [buckets] {
+        return std::make_unique<apps::FlowClassApp>(buckets);
+    };
+}
+
+TEST(MultiCore, FlowPinningIsStable)
+{
+    MultiCoreBench cores(flowFactory(256), 4);
+    FiveTuple tuple;
+    tuple.src = 0x0a000001;
+    tuple.dst = 0x0b000002;
+    tuple.srcPort = 42;
+    tuple.dstPort = 80;
+    tuple.proto = 6;
+    Packet packet;
+    packet.bytes = buildIpv4Packet(tuple, 64);
+
+    uint32_t first = cores.processPacket(packet);
+    for (int i = 0; i < 10; i++) {
+        Packet copy;
+        copy.bytes = buildIpv4Packet(tuple, 64);
+        EXPECT_EQ(cores.processPacket(copy), first)
+            << "one flow must stay on one engine";
+    }
+}
+
+TEST(MultiCore, AggregateFlowCountMatchesSingleEngine)
+{
+    // Flow pinning partitions flows, so the sum of per-engine flow
+    // tables equals the single-engine flow table.
+    apps::FlowClassApp single_app(1024);
+    PacketBench single(single_app);
+    MultiCoreBench cores(flowFactory(1024), 8);
+
+    SyntheticTrace t1(Profile::ODU, 3000, 7);
+    SyntheticTrace t2(Profile::ODU, 3000, 7);
+    while (auto p1 = t1.next()) {
+        auto p2 = t2.next();
+        single.processPacket(*p1);
+        cores.processPacket(*p2);
+    }
+
+    uint32_t partitioned = 0;
+    std::vector<std::unique_ptr<apps::FlowClassApp>> probes;
+    for (uint32_t e = 0; e < cores.numEngines(); e++) {
+        apps::FlowClassApp probe(1024);
+        partitioned += probe.simFlowCount(cores.engine(e).memory());
+    }
+    EXPECT_EQ(partitioned,
+              single_app.simFlowCount(single.memory()));
+}
+
+TEST(MultiCore, LoadRoughlyBalancedOnBackboneTraffic)
+{
+    MultiCoreBench cores(flowFactory(1024), 8);
+    SyntheticTrace trace(Profile::MRA, 8000, 3);
+    MultiCoreResult result = cores.run(trace, 8000);
+
+    EXPECT_EQ(result.totalPackets, 8000u);
+    EXPECT_EQ(result.engines.size(), 8u);
+    for (const auto &engine : result.engines)
+        EXPECT_GT(engine.packets, 0u);
+    // Thousands of flows spread over 8 engines: modest imbalance.
+    EXPECT_LT(result.imbalance(), 1.35);
+    EXPECT_GT(result.speedup(), 8.0 / 1.35);
+    EXPECT_LE(result.speedup(), 8.0);
+}
+
+TEST(MultiCore, SkewedTrafficLimitsSpeedup)
+{
+    // One elephant flow: it pins to one engine, capping speedup.
+    MultiCoreBench cores(flowFactory(256), 4);
+    FiveTuple tuple;
+    tuple.src = 1;
+    tuple.dst = 2;
+    tuple.srcPort = 3;
+    tuple.dstPort = 4;
+    tuple.proto = 17;
+    for (int i = 0; i < 1000; i++) {
+        Packet packet;
+        packet.bytes = buildIpv4Packet(tuple, 64);
+        cores.processPacket(packet);
+    }
+    MultiCoreResult result = cores.result();
+    EXPECT_NEAR(result.speedup(), 1.0, 0.01)
+        << "a single flow cannot parallelize under flow pinning";
+    EXPECT_NEAR(result.imbalance(), 4.0, 0.05);
+}
+
+TEST(MultiCore, NatEnginesAllocateIndependentPorts)
+{
+    // Each engine owns an independent binding table; bindings sum to
+    // at least the single-table count (flows split across engines
+    // never share a binding).
+    auto factory = [] {
+        return std::make_unique<apps::NatApp>(0xc6336401, 20000, 256);
+    };
+    MultiCoreBench cores(factory, 4);
+    SyntheticTrace trace(Profile::COS, 2000, 9);
+    cores.run(trace, 2000);
+
+    uint32_t total_bindings = 0;
+    apps::NatApp probe(0xc6336401, 20000, 256);
+    for (uint32_t e = 0; e < cores.numEngines(); e++)
+        total_bindings += probe.simBindingCount(cores.engine(e).memory());
+    EXPECT_GT(total_bindings, 100u);
+}
+
+TEST(MultiCore, ZeroEnginesRejected)
+{
+    EXPECT_THROW(MultiCoreBench cores(flowFactory(64), 0),
+                 FatalError);
+}
+
+TEST(MultiCore, SingleEngineDegeneratesToPacketBench)
+{
+    MultiCoreBench cores(flowFactory(256), 1);
+    SyntheticTrace trace(Profile::LAN, 500, 2);
+    MultiCoreResult result = cores.run(trace, 500);
+    EXPECT_EQ(result.totalPackets, 500u);
+    EXPECT_DOUBLE_EQ(result.imbalance(), 1.0);
+    EXPECT_DOUBLE_EQ(result.speedup(), 1.0);
+}
+
+} // namespace

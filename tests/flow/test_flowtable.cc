@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Flow table tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "flow/flowtable.hh"
+
+namespace
+{
+
+using namespace pb;
+using namespace pb::flow;
+using pb::net::FiveTuple;
+
+FiveTuple
+tupleOf(uint32_t src, uint16_t sport)
+{
+    FiveTuple tuple;
+    tuple.src = src;
+    tuple.dst = 0x08080404;
+    tuple.srcPort = sport;
+    tuple.dstPort = 443;
+    tuple.proto = 6;
+    return tuple;
+}
+
+TEST(FlowTable, FirstPacketCreatesFlow)
+{
+    FlowTable table;
+    EXPECT_TRUE(table.update(tupleOf(1, 10), 100));
+    EXPECT_FALSE(table.update(tupleOf(1, 10), 200));
+    EXPECT_TRUE(table.update(tupleOf(2, 10), 50));
+    EXPECT_EQ(table.numFlows(), 2u);
+}
+
+TEST(FlowTable, AccumulatesStats)
+{
+    FlowTable table;
+    table.update(tupleOf(1, 10), 100);
+    table.update(tupleOf(1, 10), 200);
+    table.update(tupleOf(1, 10), 44);
+    auto stats = table.lookup(tupleOf(1, 10));
+    ASSERT_TRUE(stats);
+    EXPECT_EQ(stats->packets, 3u);
+    EXPECT_EQ(stats->bytes, 344u);
+    EXPECT_FALSE(table.lookup(tupleOf(9, 9)));
+}
+
+TEST(FlowTable, DistinguishesEveryTupleField)
+{
+    FlowTable table;
+    FiveTuple base = tupleOf(1, 10);
+    table.update(base, 1);
+    FiveTuple t = base;
+    t.src ^= 1;
+    EXPECT_TRUE(table.update(t, 1));
+    t = base;
+    t.dst ^= 1;
+    EXPECT_TRUE(table.update(t, 1));
+    t = base;
+    t.srcPort ^= 1;
+    EXPECT_TRUE(table.update(t, 1));
+    t = base;
+    t.dstPort ^= 1;
+    EXPECT_TRUE(table.update(t, 1));
+    t = base;
+    t.proto = 17;
+    EXPECT_TRUE(table.update(t, 1));
+    EXPECT_EQ(table.numFlows(), 6u);
+}
+
+TEST(FlowTable, HashSpreadsAcrossBuckets)
+{
+    FlowTable table(256);
+    Rng rng(5);
+    std::vector<int> hits(256, 0);
+    for (int i = 0; i < 10000; i++) {
+        FiveTuple tuple = tupleOf(rng.next(), static_cast<uint16_t>(
+                                                  rng.below(65536)));
+        hits[table.bucketOf(tuple)]++;
+    }
+    int empty = 0;
+    int max_load = 0;
+    for (int h : hits) {
+        if (h == 0)
+            empty++;
+        max_load = std::max(max_load, h);
+    }
+    EXPECT_EQ(empty, 0);
+    EXPECT_LT(max_load, 100) << "no pathological clustering";
+}
+
+TEST(FlowTable, RejectsNonPowerOfTwoBuckets)
+{
+    EXPECT_THROW(FlowTable(1000), FatalError);
+    EXPECT_THROW(FlowTable(0), FatalError);
+}
+
+TEST(FlowTable, HashIsOrderSensitiveInPorts)
+{
+    // Swapping src/dst ports must change the hash (directional flows).
+    FiveTuple a = tupleOf(1, 10);
+    FiveTuple b = a;
+    std::swap(b.srcPort, b.dstPort);
+    EXPECT_NE(hashTuple(a), hashTuple(b));
+}
+
+} // namespace

@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Assembler tests: syntax, labels, pseudo-instruction expansion,
+ * expressions, and error reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "isa/inst.hh"
+
+namespace
+{
+
+using namespace pb;
+using namespace pb::isa;
+
+Program
+asmOk(const std::string &src)
+{
+    return Assembler(0x1000).assemble(src, "test");
+}
+
+Inst
+onlyInst(const std::string &src)
+{
+    Program prog = asmOk(src);
+    EXPECT_EQ(prog.words.size(), 1u);
+    return decode(prog.words[0]);
+}
+
+TEST(Assembler, BasicRType)
+{
+    Inst inst = onlyInst("add t0, t1, t2");
+    EXPECT_EQ(inst.op, Op::ADD);
+    EXPECT_EQ(inst.rd, 5);
+    EXPECT_EQ(inst.rs, 6);
+    EXPECT_EQ(inst.rt, 7);
+}
+
+TEST(Assembler, NumericRegisterNames)
+{
+    Inst inst = onlyInst("sub r1, r13, r15");
+    EXPECT_EQ(inst.rd, 1);
+    EXPECT_EQ(inst.rs, 13);
+    EXPECT_EQ(inst.rt, 15);
+}
+
+TEST(Assembler, ImmediateForms)
+{
+    EXPECT_EQ(onlyInst("addi a0, a0, -5").imm, -5);
+    EXPECT_EQ(onlyInst("ori a0, a0, 0xffff").imm, 0xffff);
+    EXPECT_EQ(onlyInst("slli a0, a0, 31").imm, 31);
+    EXPECT_EQ(onlyInst("lui a0, 0x1234").imm, 0x1234);
+}
+
+TEST(Assembler, LoadStoreOperands)
+{
+    Inst lw = onlyInst("lw t0, 8(a0)");
+    EXPECT_EQ(lw.op, Op::LW);
+    EXPECT_EQ(lw.rd, 5);
+    EXPECT_EQ(lw.rs, 1);
+    EXPECT_EQ(lw.imm, 8);
+
+    Inst sb = onlyInst("sb t1, -4(sp)");
+    EXPECT_EQ(sb.op, Op::SB);
+    EXPECT_EQ(sb.imm, -4);
+    EXPECT_EQ(sb.rs, regSp);
+
+    // Bare offset means base r0.
+    Inst abs = onlyInst("lw t0, 100");
+    EXPECT_EQ(abs.rs, regZero);
+    EXPECT_EQ(abs.imm, 100);
+}
+
+TEST(Assembler, LabelsAndBranches)
+{
+    Program prog = asmOk(R"(
+        main:
+            addi t0, zero, 3
+        loop:
+            addi t0, t0, -1
+            bnez t0, loop
+            sys  0
+    )");
+    EXPECT_EQ(prog.entry("main"), 0x1000u);
+    EXPECT_EQ(prog.symbols.at("loop"), 0x1004u);
+    // bnez expands to bne; target offset is -2 words (from 0x1008).
+    Inst bne = decode(prog.words[2]);
+    EXPECT_EQ(bne.op, Op::BNE);
+    EXPECT_EQ(bne.imm, -2);
+}
+
+TEST(Assembler, ForwardReferences)
+{
+    Program prog = asmOk(R"(
+        b end
+        nop
+        end: sys 0
+    )");
+    Inst b = decode(prog.words[0]);
+    EXPECT_EQ(b.op, Op::BEQ);
+    EXPECT_EQ(b.imm, 1);
+}
+
+TEST(Assembler, EquConstantsAndExpressions)
+{
+    Program prog = asmOk(R"(
+        .equ BASE, 0x100
+        .equ NODE_SIZE, 16
+        .equ FIELD, BASE + NODE_SIZE - 4
+        lw t0, FIELD(a0)
+    )");
+    Inst lw = decode(prog.words[0]);
+    EXPECT_EQ(lw.imm, 0x100 + 16 - 4);
+}
+
+TEST(Assembler, LiExpansionSmall)
+{
+    // Fits simm16: single addi.
+    Program prog = asmOk("li t0, -42");
+    ASSERT_EQ(prog.words.size(), 1u);
+    Inst inst = decode(prog.words[0]);
+    EXPECT_EQ(inst.op, Op::ADDI);
+    EXPECT_EQ(inst.imm, -42);
+}
+
+TEST(Assembler, LiExpansionUnsigned16)
+{
+    // Fits uimm16 but not simm16: single ori.
+    Program prog = asmOk("li t0, 0xabcd");
+    ASSERT_EQ(prog.words.size(), 1u);
+    EXPECT_EQ(decode(prog.words[0]).op, Op::ORI);
+}
+
+TEST(Assembler, LiExpansionLarge)
+{
+    Program prog = asmOk("li t0, 0x12345678");
+    ASSERT_EQ(prog.words.size(), 2u);
+    Inst lui = decode(prog.words[0]);
+    Inst ori = decode(prog.words[1]);
+    EXPECT_EQ(lui.op, Op::LUI);
+    EXPECT_EQ(lui.imm, 0x1234);
+    EXPECT_EQ(ori.op, Op::ORI);
+    EXPECT_EQ(ori.imm, 0x5678);
+}
+
+TEST(Assembler, LaAlwaysTwoWords)
+{
+    Program prog = asmOk(R"(
+        la t0, target
+        target: nop
+    )");
+    ASSERT_EQ(prog.words.size(), 3u);
+    // target is at 0x1008.
+    EXPECT_EQ(decode(prog.words[0]).imm, 0x0);
+    EXPECT_EQ(decode(prog.words[1]).imm, 0x1008);
+}
+
+TEST(Assembler, PseudoInstructions)
+{
+    EXPECT_EQ(onlyInst("nop").op, Op::ADD);
+    Inst move = onlyInst("move t0, a0");
+    EXPECT_EQ(move.op, Op::ADD);
+    EXPECT_EQ(move.rt, regZero);
+    EXPECT_EQ(onlyInst("ret").op, Op::JR);
+    EXPECT_EQ(onlyInst("ret").rs, regLr);
+    Inst subi = onlyInst("subi t0, t0, 5");
+    EXPECT_EQ(subi.op, Op::ADDI);
+    EXPECT_EQ(subi.imm, -5);
+}
+
+TEST(Assembler, SwappedComparisonPseudos)
+{
+    Program prog = asmOk(R"(
+        x: bgt t0, t1, x
+        ble t0, t1, x
+        bgtu t0, t1, x
+        bleu t0, t1, x
+    )");
+    Inst bgt = decode(prog.words[0]);
+    EXPECT_EQ(bgt.op, Op::BLT);
+    EXPECT_EQ(bgt.rs, 6); // t1
+    EXPECT_EQ(bgt.rt, 5); // t0
+    EXPECT_EQ(decode(prog.words[1]).op, Op::BGE);
+    EXPECT_EQ(decode(prog.words[2]).op, Op::BLTU);
+    EXPECT_EQ(decode(prog.words[3]).op, Op::BGEU);
+}
+
+TEST(Assembler, CallAndJumps)
+{
+    Program prog = asmOk(R"(
+        main:
+            call fn
+            sys 0
+        fn:
+            ret
+    )");
+    Inst jal = decode(prog.words[0]);
+    EXPECT_EQ(jal.op, Op::JAL);
+    EXPECT_EQ(jal.imm, 1);
+}
+
+TEST(Assembler, CommentsAndBlankLines)
+{
+    Program prog = asmOk(R"(
+        # full line comment
+        nop  # trailing comment
+        ; alternative comment style
+        nop  ; also trailing
+    )");
+    EXPECT_EQ(prog.words.size(), 2u);
+}
+
+TEST(Assembler, WordDirective)
+{
+    Program prog = asmOk(".word 0xdeadbeef");
+    ASSERT_EQ(prog.words.size(), 1u);
+    EXPECT_EQ(prog.words[0], 0xdeadbeefu);
+}
+
+TEST(Assembler, MultipleLabelsSameAddress)
+{
+    Program prog = asmOk("a: b: nop");
+    EXPECT_EQ(prog.symbols.at("a"), prog.symbols.at("b"));
+}
+
+TEST(Assembler, SourceLineTracking)
+{
+    Program prog = asmOk("nop\nnop\n\nnop");
+    ASSERT_EQ(prog.lines.size(), 3u);
+    EXPECT_EQ(prog.lines[0], 1);
+    EXPECT_EQ(prog.lines[1], 2);
+    EXPECT_EQ(prog.lines[2], 4);
+}
+
+// ---- error cases ----
+
+TEST(AssemblerErrors, UnknownInstruction)
+{
+    EXPECT_THROW(asmOk("frobnicate t0, t1"), AsmError);
+}
+
+TEST(AssemblerErrors, UndefinedSymbol)
+{
+    EXPECT_THROW(asmOk("b nowhere"), AsmError);
+    EXPECT_THROW(asmOk("li t0, UNDEF_EQU + nop_not_label"), AsmError);
+}
+
+TEST(AssemblerErrors, DuplicateLabel)
+{
+    EXPECT_THROW(asmOk("x: nop\nx: nop"), AsmError);
+}
+
+TEST(AssemblerErrors, ImmediateOutOfRange)
+{
+    EXPECT_THROW(asmOk("addi t0, t0, 40000"), AsmError);
+    EXPECT_THROW(asmOk("addi t0, t0, -40000"), AsmError);
+    EXPECT_THROW(asmOk("ori t0, t0, 0x10000"), AsmError);
+    EXPECT_THROW(asmOk("slli t0, t0, 32"), AsmError);
+}
+
+TEST(AssemblerErrors, WrongOperandCount)
+{
+    EXPECT_THROW(asmOk("add t0, t1"), AsmError);
+    EXPECT_THROW(asmOk("sys"), AsmError);
+    EXPECT_THROW(asmOk("jr"), AsmError);
+}
+
+TEST(AssemblerErrors, BadRegister)
+{
+    EXPECT_THROW(asmOk("add q0, t1, t2"), AsmError);
+    EXPECT_THROW(asmOk("add r16, t1, t2"), AsmError);
+}
+
+TEST(AssemblerErrors, ReportsLineNumber)
+{
+    try {
+        asmOk("nop\nnop\nbogus t0\n");
+        FAIL() << "expected AsmError";
+    } catch (const AsmError &e) {
+        EXPECT_EQ(e.line, 3);
+        EXPECT_NE(std::string(e.what()).find("test:3"),
+                  std::string::npos);
+    }
+}
+
+TEST(AssemblerErrors, MisalignedBaseRejected)
+{
+    EXPECT_THROW(Assembler(0x1002), FatalError);
+}
+
+TEST(AssemblerErrors, BranchOutOfRange)
+{
+    // Branch to a label > 32767 words away.
+    std::string src = "start: nop\n";
+    for (int i = 0; i < 33000; i++)
+        src += "nop\n";
+    src += "b start\n";
+    EXPECT_THROW(asmOk(src), AsmError);
+}
+
+} // namespace

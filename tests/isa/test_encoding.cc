@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Encode/decode round-trip tests over the whole NPE32 opcode space.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "isa/inst.hh"
+
+namespace
+{
+
+using namespace pb;
+using namespace pb::isa;
+
+/** Build a field-legal random instruction for @p op. */
+Inst
+randomInst(Op op, Rng &rng)
+{
+    const OpInfo &info = opInfo(op);
+    Inst inst;
+    inst.op = op;
+    switch (info.format) {
+      case Format::RType:
+        inst.rd = static_cast<uint8_t>(rng.below(16));
+        inst.rs = static_cast<uint8_t>(rng.below(16));
+        inst.rt = static_cast<uint8_t>(rng.below(16));
+        break;
+      case Format::IType:
+        inst.rd = static_cast<uint8_t>(rng.below(16));
+        if (op != Op::LUI)
+            inst.rs = static_cast<uint8_t>(rng.below(16));
+        if (op == Op::ADDI || op == Op::SLTI)
+            inst.imm = static_cast<int32_t>(rng.below(65536)) - 32768;
+        else if (op == Op::SLLI || op == Op::SRLI || op == Op::SRAI)
+            inst.imm = static_cast<int32_t>(rng.below(32));
+        else
+            inst.imm = static_cast<int32_t>(rng.below(65536));
+        break;
+      case Format::Load:
+      case Format::Store:
+        inst.rd = static_cast<uint8_t>(rng.below(16));
+        inst.rs = static_cast<uint8_t>(rng.below(16));
+        inst.imm = static_cast<int32_t>(rng.below(65536)) - 32768;
+        break;
+      case Format::Branch:
+        inst.rs = static_cast<uint8_t>(rng.below(16));
+        inst.rt = static_cast<uint8_t>(rng.below(16));
+        inst.imm = static_cast<int32_t>(rng.below(65536)) - 32768;
+        break;
+      case Format::Jump:
+        inst.imm = static_cast<int32_t>(rng.below(1u << 24)) -
+                   (1 << 23);
+        break;
+      case Format::JumpReg:
+        inst.rd = static_cast<uint8_t>(rng.below(16));
+        inst.rs = static_cast<uint8_t>(rng.below(16));
+        break;
+      case Format::Sys:
+        inst.imm = static_cast<int32_t>(rng.below(65536));
+        break;
+      case Format::None:
+        break;
+    }
+    return inst;
+}
+
+class EncodingRoundTrip : public ::testing::TestWithParam<Op>
+{};
+
+TEST_P(EncodingRoundTrip, DecodeOfEncodeIsIdentity)
+{
+    Rng rng(static_cast<uint32_t>(GetParam()) * 7919 + 3);
+    for (int i = 0; i < 500; i++) {
+        Inst inst = randomInst(GetParam(), rng);
+        Inst back = decode(encode(inst));
+        EXPECT_EQ(back, inst)
+            << "op=" << static_cast<int>(GetParam()) << " iter=" << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, EncodingRoundTrip,
+                         ::testing::ValuesIn(allOps),
+                         [](const auto &info) {
+                             return std::string(
+                                 opInfo(info.param).mnemonic);
+                         });
+
+TEST(Encoding, InvalidOpcodeDecodesToInvalid)
+{
+    // 0x00 and 0xff opcode bytes are unassigned.
+    EXPECT_EQ(decode(0x00000000u).op, Op::INVALID);
+    EXPECT_EQ(decode(0xff000000u).op, Op::INVALID);
+    EXPECT_EQ(decode(0x99000000u).op, Op::INVALID);
+}
+
+TEST(Encoding, OpInfoCoversAllOps)
+{
+    for (Op op : allOps) {
+        const OpInfo &info = opInfo(op);
+        EXPECT_EQ(info.op, op);
+        EXPECT_NE(info.format, Format::None);
+        EXPECT_FALSE(info.mnemonic.empty());
+        // Mnemonic lookup inverts the table.
+        EXPECT_EQ(opFromMnemonic(info.mnemonic), op);
+    }
+    EXPECT_EQ(opFromMnemonic("bogus"), Op::INVALID);
+}
+
+TEST(Encoding, SignedImmediatesSurvive)
+{
+    Inst inst{Op::ADDI, 3, 4, 0, -1};
+    EXPECT_EQ(decode(encode(inst)).imm, -1);
+    Inst branch{Op::BEQ, 0, 1, 2, -100};
+    EXPECT_EQ(decode(encode(branch)).imm, -100);
+    Inst jump{Op::J, 0, 0, 0, -(1 << 23)};
+    EXPECT_EQ(decode(encode(jump)).imm, -(1 << 23));
+}
+
+TEST(Encoding, ZeroExtendedImmediatesSurvive)
+{
+    Inst inst{Op::ORI, 3, 4, 0, 0xffff};
+    EXPECT_EQ(decode(encode(inst)).imm, 0xffff);
+    Inst lui{Op::LUI, 5, 0, 0, 0xabcd};
+    EXPECT_EQ(decode(encode(lui)).imm, 0xabcd);
+}
+
+} // namespace

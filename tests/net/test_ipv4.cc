@@ -1,0 +1,146 @@
+/**
+ * @file
+ * IPv4 header, checksum, and 5-tuple tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "net/ipv4.hh"
+
+namespace
+{
+
+using namespace pb;
+using namespace pb::net;
+
+FiveTuple
+sampleTuple()
+{
+    FiveTuple tuple;
+    tuple.src = 0x0a000001;
+    tuple.dst = 0xc0a80105;
+    tuple.srcPort = 12345;
+    tuple.dstPort = 80;
+    tuple.proto = static_cast<uint8_t>(IpProto::Tcp);
+    return tuple;
+}
+
+TEST(Ipv4, BuildPacketRoundTripsFields)
+{
+    auto bytes = buildIpv4Packet(sampleTuple(), 64, 63);
+    ASSERT_EQ(bytes.size(), 64u);
+    Ipv4ConstView ip(bytes.data());
+    EXPECT_EQ(ip.version(), 4);
+    EXPECT_EQ(ip.ihl(), 5);
+    EXPECT_EQ(ip.headerLen(), 20);
+    EXPECT_EQ(ip.totalLen(), 64);
+    EXPECT_EQ(ip.ttl(), 63);
+    EXPECT_EQ(ip.proto(), 6);
+    EXPECT_EQ(ip.src(), 0x0a000001u);
+    EXPECT_EQ(ip.dst(), 0xc0a80105u);
+}
+
+TEST(Ipv4, BuiltPacketHasValidChecksum)
+{
+    auto bytes = buildIpv4Packet(sampleTuple(), 40);
+    EXPECT_TRUE(verifyIpv4Checksum(bytes.data(), 20));
+    // Corrupt one byte: checksum must fail.
+    bytes[ipv4::offTtl] ^= 1;
+    EXPECT_FALSE(verifyIpv4Checksum(bytes.data(), 20));
+}
+
+TEST(Ipv4, ChecksumKnownVector)
+{
+    // Classic example header from RFC 1071 discussions.
+    uint8_t hdr[20] = {0x45, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40,
+                       0x00, 0x40, 0x11, 0x00, 0x00, 0xc0, 0xa8,
+                       0x00, 0x01, 0xc0, 0xa8, 0x00, 0xc7};
+    uint16_t sum = inetChecksum(hdr, 20);
+    EXPECT_EQ(sum, 0xb861);
+    storeBe16(hdr + ipv4::offChecksum, sum);
+    EXPECT_TRUE(verifyIpv4Checksum(hdr, 20));
+}
+
+TEST(Ipv4, ChecksumOddLength)
+{
+    uint8_t data[3] = {0x12, 0x34, 0x56};
+    // 0x1234 + 0x5600 = 0x6834 -> ~ = 0x97cb.
+    EXPECT_EQ(inetChecksum(data, 3), 0x97cb);
+}
+
+TEST(Ipv4, FillVerifyProperty)
+{
+    // Property: fill then verify succeeds for random headers.
+    Rng rng(42);
+    for (int i = 0; i < 200; i++) {
+        uint8_t hdr[20];
+        for (auto &byte : hdr)
+            byte = static_cast<uint8_t>(rng.below(256));
+        hdr[0] = 0x45;
+        fillIpv4Checksum(hdr, 20);
+        EXPECT_TRUE(verifyIpv4Checksum(hdr, 20)) << "iter " << i;
+    }
+}
+
+TEST(Ipv4, IncrementalChecksumMatchesRecompute)
+{
+    // Property (RFC 1624): updating the TTL field incrementally gives
+    // the same checksum as recomputing from scratch.
+    Rng rng(7);
+    for (int i = 0; i < 200; i++) {
+        auto bytes = buildIpv4Packet(sampleTuple(), 40,
+                                     static_cast<uint8_t>(
+                                         rng.range(2, 255)));
+        Ipv4View ip(bytes.data());
+        uint16_t old_sum = ip.checksum();
+        uint16_t old_word = loadBe16(bytes.data() + ipv4::offTtl);
+        ip.setTtl(ip.ttl() - 1);
+        uint16_t new_word = loadBe16(bytes.data() + ipv4::offTtl);
+        ip.setChecksum(incrementalChecksum(old_sum, old_word, new_word));
+        EXPECT_TRUE(verifyIpv4Checksum(bytes.data(), 20)) << "iter " << i;
+    }
+}
+
+TEST(Ipv4, ParseFiveTuple)
+{
+    Packet packet;
+    packet.bytes = buildIpv4Packet(sampleTuple(), 40);
+    packet.l3Offset = 0;
+    FiveTuple tuple;
+    ASSERT_TRUE(parseFiveTuple(packet, tuple));
+    EXPECT_EQ(tuple, sampleTuple());
+}
+
+TEST(Ipv4, ParseFiveTupleIcmpHasNoPorts)
+{
+    FiveTuple icmp = sampleTuple();
+    icmp.proto = static_cast<uint8_t>(IpProto::Icmp);
+    icmp.srcPort = 0;
+    icmp.dstPort = 0;
+    Packet packet;
+    packet.bytes = buildIpv4Packet(icmp, 84);
+    FiveTuple tuple;
+    ASSERT_TRUE(parseFiveTuple(packet, tuple));
+    EXPECT_EQ(tuple.srcPort, 0);
+    EXPECT_EQ(tuple.dstPort, 0);
+}
+
+TEST(Ipv4, ParseFiveTupleRejectsGarbage)
+{
+    Packet packet;
+    packet.bytes = {0x45, 0x00};
+    FiveTuple tuple;
+    EXPECT_FALSE(parseFiveTuple(packet, tuple));
+
+    packet.bytes = buildIpv4Packet(sampleTuple(), 40);
+    packet.bytes[0] = 0x65; // version 6
+    EXPECT_FALSE(parseFiveTuple(packet, tuple));
+}
+
+TEST(Ipv4, BuildRejectsTinyPacket)
+{
+    EXPECT_THROW(buildIpv4Packet(sampleTuple(), 20), FatalError);
+}
+
+} // namespace

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * pcap reader/writer tests: round trip, byte orders, link types,
+ * truncation and corruption handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/byteorder.hh"
+#include "net/ipv4.hh"
+#include "net/pcap.hh"
+
+namespace
+{
+
+using namespace pb;
+using namespace pb::net;
+
+Packet
+makePacket(uint32_t src, uint64_t ts)
+{
+    FiveTuple tuple;
+    tuple.src = src;
+    tuple.dst = 0x08080808;
+    tuple.srcPort = 1000;
+    tuple.dstPort = 53;
+    tuple.proto = 17;
+    Packet packet;
+    packet.bytes = buildIpv4Packet(tuple, 60);
+    packet.wireLen = 60;
+    packet.tsUsec = ts;
+    return packet;
+}
+
+TEST(Pcap, WriteReadRoundTrip)
+{
+    std::stringstream stream;
+    PcapWriter writer(stream, LinkType::Raw);
+    std::vector<Packet> sent;
+    for (int i = 0; i < 20; i++) {
+        Packet packet =
+            makePacket(0x0a000000u + static_cast<uint32_t>(i),
+                       1'000'000ull * i + 7);
+        writer.write(packet);
+        sent.push_back(std::move(packet));
+    }
+
+    PcapReader reader(stream, "roundtrip");
+    EXPECT_EQ(reader.linkType(), LinkType::Raw);
+    for (int i = 0; i < 20; i++) {
+        auto got = reader.next();
+        ASSERT_TRUE(got) << "packet " << i;
+        EXPECT_EQ(got->bytes, sent[i].bytes);
+        EXPECT_EQ(got->tsUsec, sent[i].tsUsec);
+        EXPECT_EQ(got->wireLen, sent[i].wireLen);
+        EXPECT_EQ(got->l3Offset, 0);
+    }
+    EXPECT_FALSE(reader.next());
+    EXPECT_FALSE(reader.next()) << "EOF must be sticky";
+}
+
+TEST(Pcap, EthernetLinkTypeSetsL3Offset)
+{
+    std::stringstream stream;
+    PcapWriter writer(stream, LinkType::Ethernet);
+    Packet packet = makePacket(1, 0);
+    // Prepend a fake Ethernet header.
+    std::vector<uint8_t> framed(14, 0);
+    framed[12] = 0x08;
+    framed.insert(framed.end(), packet.bytes.begin(),
+                  packet.bytes.end());
+    packet.bytes = framed;
+    packet.l3Offset = 14;
+    writer.write(packet);
+
+    PcapReader reader(stream);
+    auto got = reader.next();
+    ASSERT_TRUE(got);
+    EXPECT_EQ(got->l3Offset, 14);
+    EXPECT_EQ(got->l3()[0], 0x45);
+}
+
+TEST(Pcap, ReadsByteSwappedFiles)
+{
+    // Hand-build a big-endian pcap file containing one 4-byte packet.
+    std::string data;
+    auto put32be = [&](uint32_t v) {
+        uint8_t b[4];
+        storeBe32(b, v);
+        data.append(reinterpret_cast<char *>(b), 4);
+    };
+    auto put16be = [&](uint16_t v) {
+        uint8_t b[2];
+        storeBe16(b, v);
+        data.append(reinterpret_cast<char *>(b), 2);
+    };
+    put32be(0xa1b2c3d4); // stored BE => reader sees swapped magic
+    put16be(2);
+    put16be(4);
+    put32be(0);
+    put32be(0);
+    put32be(65535);
+    put32be(101); // RAW
+    put32be(12);  // ts_sec
+    put32be(34);  // ts_usec
+    put32be(4);   // incl_len
+    put32be(4);   // orig_len
+    data.append("\x45\x00\x00\x04", 4);
+
+    std::stringstream stream(data);
+    PcapReader reader(stream, "be");
+    auto got = reader.next();
+    ASSERT_TRUE(got);
+    EXPECT_EQ(got->tsUsec, 12u * 1'000'000 + 34);
+    EXPECT_EQ(got->bytes.size(), 4u);
+    EXPECT_FALSE(reader.next());
+}
+
+TEST(PcapErrors, EmptyFile)
+{
+    std::stringstream stream;
+    EXPECT_THROW(PcapReader reader(stream), TraceFormatError);
+}
+
+TEST(PcapErrors, BadMagic)
+{
+    std::stringstream stream(std::string(24, 'x'));
+    EXPECT_THROW(PcapReader reader(stream), TraceFormatError);
+}
+
+TEST(PcapErrors, NanosecondMagicRejectedWithClearError)
+{
+    std::string data(24, '\0');
+    storeLe32(reinterpret_cast<uint8_t *>(data.data()), 0xa1b23c4d);
+    std::stringstream stream(data);
+    try {
+        PcapReader reader(stream);
+        FAIL() << "expected TraceFormatError";
+    } catch (const TraceFormatError &e) {
+        EXPECT_NE(std::string(e.what()).find("nanosecond"),
+                  std::string::npos);
+    }
+}
+
+TEST(PcapErrors, UnsupportedLinkType)
+{
+    std::stringstream stream;
+    {
+        PcapWriter writer(stream, LinkType::Raw);
+    }
+    std::string data = stream.str();
+    storeLe32(reinterpret_cast<uint8_t *>(data.data()) + 20, 105); // WiFi
+    std::stringstream bad(data);
+    EXPECT_THROW(PcapReader reader(bad), TraceFormatError);
+}
+
+TEST(PcapErrors, TruncatedRecordHeader)
+{
+    std::stringstream stream;
+    PcapWriter writer(stream, LinkType::Raw);
+    writer.write(makePacket(1, 0));
+    std::string data = stream.str();
+    // Chop into the second record header.
+    data.resize(data.size() - 50);
+    data += std::string(8, '\0');
+    std::stringstream bad(data);
+    PcapReader reader(bad);
+    EXPECT_THROW({ while (reader.next()) {} }, TraceFormatError);
+}
+
+TEST(PcapErrors, TruncatedRecordBody)
+{
+    std::stringstream stream;
+    PcapWriter writer(stream, LinkType::Raw);
+    writer.write(makePacket(1, 0));
+    std::string data = stream.str();
+    data.resize(data.size() - 10); // lose part of the body
+    std::stringstream bad(data);
+    PcapReader reader(bad);
+    EXPECT_THROW(reader.next(), TraceFormatError);
+}
+
+TEST(PcapErrors, ImplausibleRecordLength)
+{
+    std::stringstream stream;
+    PcapWriter writer(stream, LinkType::Raw);
+    writer.write(makePacket(1, 0));
+    std::string data = stream.str();
+    // Record header starts at byte 24; incl_len at +8.
+    storeLe32(reinterpret_cast<uint8_t *>(data.data()) + 24 + 8,
+              0x7fffffff);
+    std::stringstream bad(data);
+    PcapReader reader(bad);
+    EXPECT_THROW(reader.next(), TraceFormatError);
+}
+
+TEST(PcapErrors, MissingFileIsFatal)
+{
+    EXPECT_THROW(openPcapFile("/nonexistent/trace.pcap"), FatalError);
+}
+
+} // namespace

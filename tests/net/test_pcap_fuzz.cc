@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Robustness fuzzing for the trace parsers: arbitrary byte blobs,
+ * truncations, and bit-flipped valid files must produce typed
+ * errors or clean EOF — never crashes, hangs, or unbounded reads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.hh"
+#include "net/ipv4.hh"
+#include "net/pcap.hh"
+#include "net/tsh.hh"
+
+namespace
+{
+
+using namespace pb;
+using namespace pb::net;
+
+/** Consume a reader until EOF or error; bounded by construction. */
+template <typename Reader>
+void
+drain(Reader &reader)
+{
+    for (int i = 0; i < 100000; i++) {
+        if (!reader.next())
+            return;
+    }
+    FAIL() << "reader produced an implausible number of packets";
+}
+
+TEST(PcapFuzz, RandomBlobsNeverCrash)
+{
+    Rng rng(1);
+    for (int trial = 0; trial < 300; trial++) {
+        size_t len = rng.below(512);
+        std::string blob(len, '\0');
+        for (auto &c : blob)
+            c = static_cast<char>(rng.below(256));
+        std::stringstream stream(blob);
+        try {
+            PcapReader reader(stream, "fuzz");
+            drain(reader);
+        } catch (const TraceFormatError &) {
+            // expected for malformed input
+        }
+    }
+}
+
+TEST(PcapFuzz, TruncatedValidFilesNeverCrash)
+{
+    // Build a valid two-packet file, then try every truncation.
+    std::stringstream valid;
+    PcapWriter writer(valid, LinkType::Raw);
+    FiveTuple tuple;
+    tuple.src = 1;
+    tuple.dst = 2;
+    tuple.proto = 17;
+    Packet packet;
+    packet.bytes = buildIpv4Packet(tuple, 40);
+    writer.write(packet);
+    writer.write(packet);
+    std::string bytes = valid.str();
+
+    for (size_t cut = 0; cut < bytes.size(); cut++) {
+        std::stringstream stream(bytes.substr(0, cut));
+        try {
+            PcapReader reader(stream, "truncated");
+            drain(reader);
+        } catch (const TraceFormatError &) {
+        }
+    }
+}
+
+TEST(PcapFuzz, BitFlippedHeadersNeverCrash)
+{
+    std::stringstream valid;
+    PcapWriter writer(valid, LinkType::Ethernet);
+    Packet packet;
+    packet.bytes = std::vector<uint8_t>(60, 0x42);
+    packet.l3Offset = 14;
+    writer.write(packet);
+    std::string bytes = valid.str();
+
+    Rng rng(7);
+    for (int trial = 0; trial < 500; trial++) {
+        std::string mutated = bytes;
+        size_t pos = rng.below(static_cast<uint32_t>(mutated.size()));
+        mutated[pos] ^= static_cast<char>(1u << rng.below(8));
+        std::stringstream stream(mutated);
+        try {
+            PcapReader reader(stream, "flipped");
+            drain(reader);
+        } catch (const TraceFormatError &) {
+        }
+    }
+}
+
+TEST(TshFuzz, RandomBlobsNeverCrash)
+{
+    Rng rng(3);
+    for (int trial = 0; trial < 300; trial++) {
+        size_t len = rng.below(400);
+        std::string blob(len, '\0');
+        for (auto &c : blob)
+            c = static_cast<char>(rng.below(256));
+        std::stringstream stream(blob);
+        TshReader reader(stream, "fuzz");
+        try {
+            drain(reader);
+        } catch (const TraceFormatError &) {
+        }
+    }
+}
+
+} // namespace

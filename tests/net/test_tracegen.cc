@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Synthetic trace generator tests: determinism, profile structure,
+ * NLANR renumbering, flow statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+
+#include "flow/flowtable.hh"
+#include "net/ipv4.hh"
+#include "net/tracegen.hh"
+
+namespace
+{
+
+using namespace pb;
+using namespace pb::net;
+
+std::vector<Packet>
+generate(Profile profile, uint32_t count, uint32_t seed = 1)
+{
+    SyntheticTrace trace(profile, count, seed);
+    std::vector<Packet> packets;
+    while (auto packet = trace.next())
+        packets.push_back(std::move(*packet));
+    return packets;
+}
+
+TEST(TraceGen, ProducesExactlyCountPackets)
+{
+    SyntheticTrace trace(Profile::COS, 137);
+    uint32_t n = 0;
+    while (trace.next())
+        n++;
+    EXPECT_EQ(n, 137u);
+    EXPECT_FALSE(trace.next()) << "exhausted source stays exhausted";
+}
+
+TEST(TraceGen, DeterministicForSeed)
+{
+    auto a = generate(Profile::MRA, 500, 9);
+    auto b = generate(Profile::MRA, 500, 9);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); i++) {
+        EXPECT_EQ(a[i].bytes, b[i].bytes) << i;
+        EXPECT_EQ(a[i].tsUsec, b[i].tsUsec) << i;
+    }
+    auto c = generate(Profile::MRA, 500, 10);
+    EXPECT_NE(a[0].bytes, c[0].bytes) << "different seed, different trace";
+}
+
+TEST(TraceGen, AllPacketsAreValidIpv4)
+{
+    for (Profile profile : allProfiles) {
+        auto packets = generate(profile, 300);
+        for (const auto &packet : packets) {
+            ASSERT_GE(packet.l3Len(), 28u);
+            Ipv4ConstView ip(packet.l3());
+            EXPECT_EQ(ip.version(), 4);
+            EXPECT_TRUE(verifyIpv4Checksum(packet.l3(), 20));
+            EXPECT_GE(ip.ttl(), 1u);
+            FiveTuple tuple;
+            EXPECT_TRUE(parseFiveTuple(packet, tuple));
+        }
+    }
+}
+
+TEST(TraceGen, LanUsesEthernetFraming)
+{
+    auto packets = generate(Profile::LAN, 50);
+    for (const auto &packet : packets) {
+        EXPECT_EQ(packet.l3Offset, 14);
+        EXPECT_EQ(packet.bytes[12], 0x08);
+        EXPECT_EQ(packet.bytes[13], 0x00);
+    }
+}
+
+TEST(TraceGen, BackboneUsesRawFraming)
+{
+    for (Profile profile : {Profile::MRA, Profile::COS, Profile::ODU}) {
+        auto packets = generate(profile, 50);
+        for (const auto &packet : packets)
+            EXPECT_EQ(packet.l3Offset, 0);
+    }
+}
+
+TEST(TraceGen, NlanrRenumberingIsSequentialFrom10)
+{
+    // Backbone profiles renumber addresses in order of first
+    // appearance starting at 10.0.0.1, like the NLANR traces.
+    auto packets = generate(Profile::MRA, 2000);
+    std::set<uint32_t> addrs;
+    for (const auto &packet : packets) {
+        Ipv4ConstView ip(packet.l3());
+        addrs.insert(ip.src());
+        addrs.insert(ip.dst());
+    }
+    ASSERT_FALSE(addrs.empty());
+    EXPECT_EQ(*addrs.begin(), 0x0a000001u);
+    // Dense: max - min + 1 == count.
+    EXPECT_EQ(*addrs.rbegin() - *addrs.begin() + 1, addrs.size());
+}
+
+TEST(TraceGen, LanAddressesArePrivateSubnets)
+{
+    auto packets = generate(Profile::LAN, 500);
+    for (const auto &packet : packets) {
+        Ipv4ConstView ip(packet.l3());
+        EXPECT_EQ(ip.src() >> 16, 0xc0a8u) << "192.168/16 expected";
+        EXPECT_EQ(ip.dst() >> 16, 0xc0a8u);
+    }
+}
+
+TEST(TraceGen, FlowStructureMatchesProfile)
+{
+    // The new-flow fraction should be roughly 1/meanFlowLen; this is
+    // what drives the paper's Flow Classification occurrence split.
+    for (Profile profile : {Profile::MRA, Profile::LAN}) {
+        const auto &info = profileInfo(profile);
+        auto packets = generate(profile, 20'000);
+        flow::FlowTable table(1024);
+        uint32_t new_flows = 0;
+        for (const auto &packet : packets) {
+            FiveTuple tuple;
+            ASSERT_TRUE(parseFiveTuple(packet, tuple));
+            if (table.update(tuple, packet.wireLen))
+                new_flows++;
+        }
+        double new_frac = static_cast<double>(new_flows) / packets.size();
+        double expected = 1.0 / info.meanFlowLen;
+        EXPECT_GT(new_frac, expected * 0.4) << info.name.data();
+        EXPECT_LT(new_frac, expected * 2.5) << info.name.data();
+    }
+}
+
+TEST(TraceGen, ProtocolMixRoughlyMatchesProfile)
+{
+    const auto &info = profileInfo(Profile::ODU);
+    auto packets = generate(Profile::ODU, 20'000);
+    uint32_t tcp = 0;
+    uint32_t udp = 0;
+    for (const auto &packet : packets) {
+        Ipv4ConstView ip(packet.l3());
+        if (ip.proto() == 6)
+            tcp++;
+        else if (ip.proto() == 17)
+            udp++;
+    }
+    // Flows are weighted by length, so allow generous tolerance.
+    EXPECT_NEAR(static_cast<double>(tcp) / packets.size(), info.pTcp,
+                0.15);
+    EXPECT_NEAR(static_cast<double>(udp) / packets.size(), info.pUdp,
+                0.12);
+}
+
+TEST(TraceGen, TimestampsIncrease)
+{
+    auto packets = generate(Profile::COS, 500);
+    for (size_t i = 1; i < packets.size(); i++)
+        EXPECT_GT(packets[i].tsUsec, packets[i - 1].tsUsec);
+}
+
+TEST(TraceGen, ProfileInfoTableMatchesPaper)
+{
+    EXPECT_EQ(profileInfo(Profile::MRA).paperPackets, 4'643'333u);
+    EXPECT_EQ(profileInfo(Profile::COS).paperPackets, 2'183'310u);
+    EXPECT_EQ(profileInfo(Profile::ODU).paperPackets, 784'278u);
+    EXPECT_EQ(profileInfo(Profile::LAN).paperPackets, 100'000u);
+    EXPECT_EQ(profileInfo(Profile::MRA).linkDesc, "OC-12c (PoS)");
+}
+
+TEST(TraceGen, ZeroCountRejected)
+{
+    EXPECT_THROW(SyntheticTrace(Profile::MRA, 0), FatalError);
+}
+
+} // namespace

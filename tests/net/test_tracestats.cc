@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Trace statistics tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/tracegen.hh"
+#include "net/tracestats.hh"
+
+namespace
+{
+
+using namespace pb;
+using namespace pb::net;
+
+TEST(TraceStats, CountsAndMix)
+{
+    SyntheticTrace trace(Profile::MRA, 5000, 3);
+    TraceStats stats = collectTraceStats(trace);
+    EXPECT_EQ(stats.packets, 5000u);
+    EXPECT_EQ(stats.ipv4Packets, 5000u);
+    EXPECT_GT(stats.bytesOnWire, stats.bytesCaptured);
+    EXPECT_GE(stats.minWireLen, 28u);
+    EXPECT_LE(stats.maxWireLen, 1500u);
+    EXPECT_GT(stats.durationSec(), 0.0);
+    // Protocol mix roughly matches the profile.
+    double tcp_frac =
+        static_cast<double>(stats.tcp) / stats.ipv4Packets;
+    EXPECT_NEAR(tcp_frac, profileInfo(Profile::MRA).pTcp, 0.15);
+    // NLANR renumbering: addresses dense and countable.
+    EXPECT_GT(stats.distinctAddrs, 100u);
+    // Mean flow length ~10 over 5000 packets, but the concurrent
+    // flow pool keeps many flows open at trace end.
+    EXPECT_GT(stats.distinctFlows, 300u);
+    EXPECT_LT(stats.distinctFlows, 3500u);
+}
+
+TEST(TraceStats, MaxPacketsLimit)
+{
+    SyntheticTrace trace(Profile::LAN, 1000, 1);
+    TraceStats stats = collectTraceStats(trace, 100);
+    EXPECT_EQ(stats.packets, 100u);
+}
+
+TEST(TraceStats, EmptySourceIsSane)
+{
+    SyntheticTrace trace(Profile::LAN, 5, 1);
+    collectTraceStats(trace); // drain
+    TraceStats stats = collectTraceStats(trace);
+    EXPECT_EQ(stats.packets, 0u);
+    EXPECT_EQ(stats.meanWireLen(), 0.0);
+    EXPECT_EQ(stats.durationSec(), 0.0);
+}
+
+TEST(TraceStats, ReportMentionsKeyNumbers)
+{
+    SyntheticTrace trace(Profile::ODU, 500, 2);
+    TraceStats stats = collectTraceStats(trace);
+    std::string report = stats.report("ODU");
+    EXPECT_NE(report.find("trace: ODU"), std::string::npos);
+    EXPECT_NE(report.find("500"), std::string::npos);
+    EXPECT_NE(report.find("TCP"), std::string::npos);
+    EXPECT_NE(report.find("distinct flows"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * NLANR TSH format tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "net/ipv4.hh"
+#include "net/pcap.hh" // TraceFormatError
+#include "net/tsh.hh"
+
+namespace
+{
+
+using namespace pb;
+using namespace pb::net;
+
+Packet
+headerPacket(uint32_t src, uint16_t total_len, uint64_t ts)
+{
+    FiveTuple tuple;
+    tuple.src = src;
+    tuple.dst = 0xc0000201;
+    tuple.srcPort = 4242;
+    tuple.dstPort = 80;
+    tuple.proto = 6;
+    Packet packet;
+    packet.bytes = buildIpv4Packet(tuple, 36); // 20 IP + 16 L4 bytes
+    Ipv4View ip(packet.bytes.data());
+    ip.setTotalLen(total_len);
+    fillIpv4Checksum(packet.bytes.data(), 20);
+    packet.wireLen = total_len;
+    packet.tsUsec = ts;
+    return packet;
+}
+
+TEST(Tsh, WriteReadRoundTrip)
+{
+    std::stringstream stream;
+    TshWriter writer(stream);
+    std::vector<Packet> sent;
+    for (int i = 0; i < 10; i++) {
+        Packet packet = headerPacket(
+            0x0a000001u + static_cast<uint32_t>(i),
+            static_cast<uint16_t>(40 + i * 100),
+            123'456'789ull + static_cast<uint64_t>(i) * 1000);
+        writer.write(packet);
+        sent.push_back(std::move(packet));
+    }
+    EXPECT_EQ(stream.str().size(), 10 * tshRecordLen);
+
+    TshReader reader(stream, "rt");
+    for (int i = 0; i < 10; i++) {
+        auto got = reader.next();
+        ASSERT_TRUE(got) << i;
+        EXPECT_EQ(got->bytes.size(), 36u) << "TSH captures 36 bytes";
+        EXPECT_EQ(got->bytes, sent[i].bytes);
+        EXPECT_EQ(got->tsUsec, sent[i].tsUsec);
+        // wireLen reconstructed from the IP total length.
+        EXPECT_EQ(got->wireLen, sent[i].wireLen);
+        EXPECT_EQ(got->l3Offset, 0);
+    }
+    EXPECT_FALSE(reader.next());
+}
+
+TEST(Tsh, TruncatedRecordThrows)
+{
+    std::stringstream stream;
+    TshWriter writer(stream);
+    writer.write(headerPacket(1, 100, 0));
+    std::string data = stream.str();
+    data.resize(tshRecordLen - 5);
+    std::stringstream bad(data);
+    TshReader reader(bad);
+    EXPECT_THROW(reader.next(), TraceFormatError);
+}
+
+TEST(Tsh, NonIpv4RecordThrows)
+{
+    std::string data(tshRecordLen, '\0');
+    data[8] = 0x62; // version 6 in the IP header slot
+    std::stringstream bad(data);
+    TshReader reader(bad);
+    EXPECT_THROW(reader.next(), TraceFormatError);
+}
+
+TEST(Tsh, WriterRejectsHeaderlessPacket)
+{
+    Packet tiny;
+    tiny.bytes = {0x45, 0x00};
+    std::stringstream stream;
+    TshWriter writer(stream);
+    EXPECT_THROW(writer.write(tiny), FatalError);
+}
+
+TEST(Tsh, MissingFileIsFatal)
+{
+    EXPECT_THROW(openTshFile("/nonexistent.tsh"), FatalError);
+}
+
+} // namespace

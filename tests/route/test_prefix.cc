@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Routing-table generator tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/bitops.hh"
+#include "route/prefix.hh"
+
+namespace
+{
+
+using namespace pb;
+using namespace pb::route;
+
+TEST(TableGen, CoreTableShape)
+{
+    auto table = generateCoreTable(4096, 1);
+    // default + 256 /8s + n.
+    EXPECT_EQ(table.size(), 1u + 256u + 4096u);
+
+    std::map<uint8_t, uint32_t> by_len;
+    std::set<std::pair<uint32_t, uint8_t>> unique;
+    bool has_default = false;
+    for (const auto &entry : table) {
+        EXPECT_LE(entry.len, 32u);
+        EXPECT_EQ(entry.prefix & ~prefixMask(entry.len), 0u)
+            << "prefix must be masked";
+        EXPECT_TRUE(unique.emplace(entry.prefix, entry.len).second)
+            << "duplicate prefix";
+        if (entry.len == 0)
+            has_default = true;
+        else
+            EXPECT_GE(entry.nextHop, 1u);
+        EXPECT_LE(entry.nextHop, numInterfaces);
+        by_len[entry.len]++;
+    }
+    EXPECT_TRUE(has_default);
+    EXPECT_EQ(by_len[8], 256u + by_len[8] - 256u);
+    // /24 dominates, like real BGP tables.
+    uint32_t max_count = 0;
+    uint8_t max_len = 0;
+    for (auto [len, count] : by_len) {
+        if (len > 8 && count > max_count) {
+            max_count = count;
+            max_len = len;
+        }
+    }
+    EXPECT_EQ(max_len, 24);
+    EXPECT_GT(max_count, 4096u * 4 / 10);
+}
+
+TEST(TableGen, Deterministic)
+{
+    auto a = generateCoreTable(100, 7);
+    auto b = generateCoreTable(100, 7);
+    EXPECT_EQ(a, b);
+    auto c = generateCoreTable(100, 8);
+    EXPECT_NE(a, c);
+}
+
+TEST(TableGen, SmallTableShape)
+{
+    auto table = generateSmallTable(160, 3);
+    EXPECT_EQ(table.size(), 161u);
+    for (const auto &entry : table) {
+        if (entry.len != 0) {
+            EXPECT_GE(entry.len, 8u);
+            EXPECT_LE(entry.len, 24u);
+        }
+    }
+}
+
+} // namespace

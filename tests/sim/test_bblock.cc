@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Basic-block discovery tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "sim/bblock.hh"
+
+namespace
+{
+
+using namespace pb;
+using namespace pb::sim;
+
+isa::Program
+asmProg(const std::string &src)
+{
+    return isa::Assembler(0x1000).assemble(src, "bbtest");
+}
+
+TEST(BlockMap, StraightLineIsOneBlock)
+{
+    BlockMap map(asmProg("nop\nnop\nnop\nsys 0"));
+    // sys ends a block, so: [nop nop nop sys].
+    EXPECT_EQ(map.numBlocks(), 1u);
+    EXPECT_EQ(map.block(0).numInsts, 4u);
+}
+
+TEST(BlockMap, BranchSplitsBlocks)
+{
+    BlockMap map(asmProg(R"(
+            addi t0, zero, 3
+        loop:
+            addi t0, t0, -1
+            bnez t0, loop
+            sys 0
+    )"));
+    // Blocks: [addi], [addi, bnez], [sys].
+    EXPECT_EQ(map.numBlocks(), 3u);
+    EXPECT_EQ(map.block(0).numInsts, 1u);
+    EXPECT_EQ(map.block(1).numInsts, 2u);
+    EXPECT_EQ(map.block(2).numInsts, 1u);
+}
+
+TEST(BlockMap, BlockOfMapsEveryInstruction)
+{
+    isa::Program prog = asmProg(R"(
+            b skip
+            nop
+        skip:
+            sys 0
+    )");
+    BlockMap map(prog);
+    // [b], [nop], [sys].
+    EXPECT_EQ(map.numBlocks(), 3u);
+    EXPECT_EQ(map.blockOf(0x1000), 0u);
+    EXPECT_EQ(map.blockOf(0x1004), 1u);
+    EXPECT_EQ(map.blockOf(0x1008), 2u);
+}
+
+TEST(BlockMap, CallTargetsAreLeaders)
+{
+    BlockMap map(asmProg(R"(
+        main:
+            call fn
+            sys 0
+            nop
+        fn:
+            nop
+            ret
+    )"));
+    // [call], [sys], [nop] (label fn forces leader even though the
+    // preceding sys already did), [nop ret] ... fn: nop, ret -> the
+    // ret ends the program's last block.
+    // Blocks: [call][sys][nop][nop ret].
+    EXPECT_EQ(map.numBlocks(), 4u);
+}
+
+TEST(BlockMap, BlocksCoverProgramExactly)
+{
+    isa::Program prog = asmProg(R"(
+        main:
+            addi t0, zero, 5
+        a:  bnez t0, b
+            nop
+        b:  addi t0, t0, -1
+            bgt t0, zero, a
+            sys 0
+    )");
+    BlockMap map(prog);
+    uint32_t total = 0;
+    uint32_t prev_end = prog.baseAddr;
+    for (const auto &block : map.blocks()) {
+        EXPECT_EQ(block.startAddr, prev_end) << "gap before block";
+        prev_end = block.startAddr + block.numInsts * 4;
+        total += block.numInsts;
+        // Every instruction in the block maps back to it.
+        for (uint32_t i = 0; i < block.numInsts; i++)
+            EXPECT_EQ(map.blockOf(block.startAddr + i * 4), block.id);
+    }
+    EXPECT_EQ(total, prog.words.size());
+    EXPECT_EQ(prev_end, prog.endAddr());
+}
+
+TEST(BlockMap, IdsAreDenseAndOrdered)
+{
+    BlockMap map(asmProg(R"(
+        x: b y
+        y: b x
+    )"));
+    for (uint32_t i = 0; i < map.numBlocks(); i++) {
+        EXPECT_EQ(map.block(i).id, i);
+        if (i > 0) {
+            EXPECT_GT(map.block(i).startAddr,
+                      map.block(i - 1).startAddr);
+        }
+    }
+}
+
+TEST(BlockMap, EmptyProgramRejected)
+{
+    isa::Program prog;
+    prog.baseAddr = 0x1000;
+    EXPECT_THROW(BlockMap map(prog), FatalError);
+}
+
+} // namespace

@@ -1,0 +1,353 @@
+/**
+ * @file
+ * Interpreter tests: instruction semantics, control flow, calls,
+ * memory operations, SYS handling, and fault injection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "sim/cpu.hh"
+#include "sim/memmap.hh"
+
+namespace
+{
+
+using namespace pb;
+using namespace pb::sim;
+
+class CpuTest : public ::testing::Test
+{
+  protected:
+    /** Assemble and load; returns the entry address. */
+    uint32_t
+    loadAsm(const std::string &src)
+    {
+        isa::Program prog =
+            isa::Assembler(layout::textBase).assemble(src, "cputest");
+        cpu.loadProgram(prog);
+        return prog.hasSymbol("main") ? prog.entry() : prog.baseAddr;
+    }
+
+    RunResult
+    runAsm(const std::string &src, uint64_t budget = 1'000'000)
+    {
+        return cpu.run(loadAsm(src), budget);
+    }
+
+    Memory mem;
+    Cpu cpu{mem};
+};
+
+TEST_F(CpuTest, ArithmeticBasics)
+{
+    runAsm(R"(
+        li t0, 7
+        li t1, 5
+        add t2, t0, t1      # 12
+        sub t3, t0, t1      # 2
+        mul t4, t0, t1      # 35
+        sys 3
+    )");
+    EXPECT_EQ(cpu.reg(7), 12u);
+    EXPECT_EQ(cpu.reg(8), 2u);
+    EXPECT_EQ(cpu.reg(9), 35u);
+}
+
+TEST_F(CpuTest, LogicAndShifts)
+{
+    runAsm(R"(
+        li t0, 0x0ff0
+        li t1, 0x00ff
+        and t2, t0, t1      # 0x00f0
+        or  t3, t0, t1      # 0x0fff
+        xor t4, t0, t1      # 0x0f0f
+        li  t5, 4
+        sll s0, t1, t5      # 0x0ff0
+        srl s1, t0, t5      # 0x00ff
+        sys 3
+    )");
+    EXPECT_EQ(cpu.reg(7), 0x00f0u);
+    EXPECT_EQ(cpu.reg(8), 0x0fffu);
+    EXPECT_EQ(cpu.reg(9), 0x0f0fu);
+    EXPECT_EQ(cpu.reg(11), 0x0ff0u);
+    EXPECT_EQ(cpu.reg(12), 0x00ffu);
+}
+
+TEST_F(CpuTest, ArithmeticShiftIsSigned)
+{
+    runAsm(R"(
+        li t0, -16
+        li t1, 2
+        sra t2, t0, t1     # -4
+        srl t3, t0, t1     # large positive
+        srai t4, t0, 4     # -1
+        sys 3
+    )");
+    EXPECT_EQ(static_cast<int32_t>(cpu.reg(7)), -4);
+    EXPECT_EQ(cpu.reg(8), 0xfffffff0u >> 2);
+    EXPECT_EQ(static_cast<int32_t>(cpu.reg(9)), -1);
+}
+
+TEST_F(CpuTest, SignedVsUnsignedCompare)
+{
+    runAsm(R"(
+        li t0, -1
+        li t1, 1
+        slt  t2, t0, t1    # -1 < 1 signed: 1
+        sltu t3, t0, t1    # 0xffffffff < 1 unsigned: 0
+        slti t4, t0, 0     # 1
+        sltiu t5, t1, 2    # 1
+        sys 3
+    )");
+    EXPECT_EQ(cpu.reg(7), 1u);
+    EXPECT_EQ(cpu.reg(8), 0u);
+    EXPECT_EQ(cpu.reg(9), 1u);
+    EXPECT_EQ(cpu.reg(10), 1u);
+}
+
+TEST_F(CpuTest, RegisterZeroIsHardwired)
+{
+    runAsm(R"(
+        li t0, 99
+        add zero, t0, t0
+        move t1, zero
+        sys 3
+    )");
+    EXPECT_EQ(cpu.reg(0), 0u);
+    EXPECT_EQ(cpu.reg(6), 0u);
+}
+
+TEST_F(CpuTest, LoopComputesTriangularNumber)
+{
+    RunResult res = runAsm(R"(
+        main:
+            li t0, 10       # n
+            li t1, 0        # sum
+        loop:
+            add t1, t1, t0
+            addi t0, t0, -1
+            bnez t0, loop
+            sys 3
+    )");
+    EXPECT_EQ(cpu.reg(6), 55u);
+    // 2 setup + 10 iterations * 3 + 1 sys = 33.
+    EXPECT_EQ(res.instCount, 33u);
+}
+
+TEST_F(CpuTest, BranchVariants)
+{
+    runAsm(R"(
+        li t0, -5
+        li t1, 5
+        li s0, 0
+        bge t0, t1, skip1     # not taken (signed)
+        ori s0, s0, 1
+    skip1:
+        bgeu t0, t1, take2    # taken (unsigned: big)
+        b fail
+    take2:
+        blt t0, t1, take3     # taken signed
+        b fail
+    take3:
+        bltu t0, t1, fail     # not taken unsigned
+        ori s0, s0, 2
+        sys 3
+    fail:
+        li s0, 0xdead
+        sys 3
+    )");
+    EXPECT_EQ(cpu.reg(11), 3u);
+}
+
+TEST_F(CpuTest, FunctionCallAndReturn)
+{
+    runAsm(R"(
+        main:
+            li a0, 21
+            call double
+            move s0, a0
+            sys 3
+        double:
+            add a0, a0, a0
+            ret
+    )");
+    EXPECT_EQ(cpu.reg(11), 42u);
+}
+
+TEST_F(CpuTest, NestedCallsWithStack)
+{
+    // f(n) = n <= 1 ? 1 : n * f(n-1), recursive with stack frames.
+    runAsm(R"(
+        main:
+            li a0, 5
+            call fact
+            move s0, a0
+            sys 3
+        fact:
+            li at, 2
+            blt a0, at, base
+            addi sp, sp, -8
+            sw lr, 4(sp)
+            sw a0, 0(sp)
+            addi a0, a0, -1
+            call fact
+            lw t0, 0(sp)
+            lw lr, 4(sp)
+            addi sp, sp, 8
+            mul a0, a0, t0
+            ret
+        base:
+            li a0, 1
+            ret
+    )");
+    EXPECT_EQ(cpu.reg(11), 120u);
+}
+
+TEST_F(CpuTest, LoadStoreWidths)
+{
+    runAsm(R"(
+        .equ DATA, 0x00100000
+        li  t0, DATA
+        li  t1, 0x12345678
+        sw  t1, 0(t0)
+        lbu t2, 0(t0)       # LE: 0x78
+        lbu t3, 3(t0)       # 0x12
+        lhu t4, 0(t0)       # 0x5678
+        lhu t5, 2(t0)       # 0x1234
+        li  t1, 0xff
+        sb  t1, 1(t0)
+        lw  s0, 0(t0)       # 0x1234ff78
+        sys 3
+    )");
+    EXPECT_EQ(cpu.reg(7), 0x78u);
+    EXPECT_EQ(cpu.reg(8), 0x12u);
+    EXPECT_EQ(cpu.reg(9), 0x5678u);
+    EXPECT_EQ(cpu.reg(10), 0x1234u);
+    EXPECT_EQ(cpu.reg(11), 0x1234ff78u);
+}
+
+TEST_F(CpuTest, SignExtendingLoads)
+{
+    runAsm(R"(
+        .equ DATA, 0x00100000
+        li t0, DATA
+        li t1, 0x80f0
+        sh t1, 0(t0)
+        lh t2, 0(t0)        # sign-extends to 0xffff80f0
+        lb t3, 1(t0)        # 0x80 -> -128
+        lbu t4, 1(t0)       # 0x80
+        sys 3
+    )");
+    EXPECT_EQ(cpu.reg(7), 0xffff80f0u);
+    EXPECT_EQ(static_cast<int32_t>(cpu.reg(8)), -128);
+    EXPECT_EQ(cpu.reg(9), 0x80u);
+}
+
+TEST_F(CpuTest, SysStopCodesAndArg)
+{
+    RunResult res = runAsm(R"(
+        li a1, 3            # output interface
+        sys 1               # SEND
+    )");
+    EXPECT_EQ(res.stopCode, isa::SysCode::Send);
+    EXPECT_EQ(res.stopArg, 3u);
+
+    res = runAsm("sys 2");
+    EXPECT_EQ(res.stopCode, isa::SysCode::Drop);
+}
+
+TEST_F(CpuTest, InitialStackPointer)
+{
+    runAsm("sys 3");
+    EXPECT_EQ(cpu.reg(isa::regSp), layout::stackTop);
+}
+
+TEST_F(CpuTest, JalrIndirectCall)
+{
+    runAsm(R"(
+        main:
+            la t0, fn
+            jalr t0
+            sys 3
+        fn:
+            li s0, 77
+            ret
+    )");
+    EXPECT_EQ(cpu.reg(11), 77u);
+}
+
+// ---- fault injection ----
+
+TEST_F(CpuTest, RunawayLoopHitsBudget)
+{
+    EXPECT_THROW(runAsm("loop: b loop", 1000), BudgetError);
+}
+
+TEST_F(CpuTest, UnmappedLoadFaults)
+{
+    EXPECT_THROW(runAsm(R"(
+        li t0, 0x00080000   # hole between text and data regions
+        lw t1, 0(t0)
+        sys 3
+    )"), MemoryError);
+}
+
+TEST_F(CpuTest, MisalignedLoadFaults)
+{
+    EXPECT_THROW(runAsm(R"(
+        li t0, 0x00100001
+        lw t1, 0(t0)
+        sys 3
+    )"), AlignmentError);
+}
+
+TEST_F(CpuTest, JumpOutsideProgramFaults)
+{
+    EXPECT_THROW(runAsm(R"(
+        li t0, 0x00100000
+        jr t0
+    )"), MemoryError);
+}
+
+TEST_F(CpuTest, MisalignedJumpFaults)
+{
+    EXPECT_THROW(runAsm(R"(
+        main:
+            la t0, main
+            addi t0, t0, 2
+            jr t0
+    )"), AlignmentError);
+}
+
+TEST_F(CpuTest, FallingOffTheEndFaults)
+{
+    // No SYS: execution runs past the last instruction.
+    EXPECT_THROW(runAsm("nop\nnop"), MemoryError);
+}
+
+TEST_F(CpuTest, RunWithoutProgramIsFatal)
+{
+    Memory other_mem;
+    Cpu fresh(other_mem);
+    EXPECT_THROW(fresh.run(layout::textBase), FatalError);
+}
+
+TEST_F(CpuTest, ProgramTooBigForTextRejected)
+{
+    isa::Program prog;
+    prog.baseAddr = layout::textBase;
+    prog.words.assign(layout::textSize / 4 + 1, 0);
+    EXPECT_THROW(cpu.loadProgram(prog), FatalError);
+}
+
+TEST_F(CpuTest, LifetimeInstructionCountAccumulates)
+{
+    runAsm("nop\nsys 3");
+    uint64_t first = cpu.totalInstCount();
+    EXPECT_EQ(first, 2u);
+    cpu.run(cpu.program().baseAddr);
+    EXPECT_EQ(cpu.totalInstCount(), 4u);
+}
+
+} // namespace

@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Randomized differential testing of the NPE32 interpreter: random
+ * instruction sequences are executed both by the simulator and by a
+ * host-side golden evaluator; every architectural register (and for
+ * memory programs, every touched byte) must match.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "isa/disasm.hh"
+#include "sim/cpu.hh"
+#include "sim/memmap.hh"
+
+namespace
+{
+
+using namespace pb;
+using namespace pb::sim;
+using isa::Inst;
+using isa::Op;
+
+/** Golden register-file evaluator for ALU instructions. */
+class GoldenAlu
+{
+  public:
+    uint32_t regs[isa::numRegs] = {};
+
+    uint32_t read(unsigned r) const { return r == 0 ? 0 : regs[r]; }
+
+    void
+    write(unsigned r, uint32_t value)
+    {
+        if (r != 0)
+            regs[r] = value;
+    }
+
+    void
+    step(const Inst &inst)
+    {
+        uint32_t rs = read(inst.rs);
+        uint32_t rt = read(inst.rt);
+        uint32_t uimm = static_cast<uint32_t>(inst.imm);
+        switch (inst.op) {
+          case Op::ADD:
+            write(inst.rd, rs + rt);
+            break;
+          case Op::SUB:
+            write(inst.rd, rs - rt);
+            break;
+          case Op::AND:
+            write(inst.rd, rs & rt);
+            break;
+          case Op::OR:
+            write(inst.rd, rs | rt);
+            break;
+          case Op::XOR:
+            write(inst.rd, rs ^ rt);
+            break;
+          case Op::SLL:
+            write(inst.rd, rs << (rt & 31));
+            break;
+          case Op::SRL:
+            write(inst.rd, rs >> (rt & 31));
+            break;
+          case Op::SRA:
+            write(inst.rd,
+                  static_cast<uint32_t>(static_cast<int32_t>(rs) >>
+                                        (rt & 31)));
+            break;
+          case Op::MUL:
+            write(inst.rd, rs * rt);
+            break;
+          case Op::SLT:
+            write(inst.rd, static_cast<int32_t>(rs) <
+                                   static_cast<int32_t>(rt)
+                               ? 1
+                               : 0);
+            break;
+          case Op::SLTU:
+            write(inst.rd, rs < rt ? 1 : 0);
+            break;
+          case Op::ADDI:
+            write(inst.rd, rs + uimm);
+            break;
+          case Op::ANDI:
+            write(inst.rd, rs & uimm);
+            break;
+          case Op::ORI:
+            write(inst.rd, rs | uimm);
+            break;
+          case Op::XORI:
+            write(inst.rd, rs ^ uimm);
+            break;
+          case Op::SLLI:
+            write(inst.rd, rs << (uimm & 31));
+            break;
+          case Op::SRLI:
+            write(inst.rd, rs >> (uimm & 31));
+            break;
+          case Op::SRAI:
+            write(inst.rd,
+                  static_cast<uint32_t>(static_cast<int32_t>(rs) >>
+                                        (uimm & 31)));
+            break;
+          case Op::SLTI:
+            write(inst.rd,
+                  static_cast<int32_t>(rs) < inst.imm ? 1 : 0);
+            break;
+          case Op::SLTIU:
+            write(inst.rd, rs < uimm ? 1 : 0);
+            break;
+          case Op::LUI:
+            write(inst.rd, uimm << 16);
+            break;
+          default:
+            FAIL() << "golden evaluator fed a non-ALU op";
+        }
+    }
+};
+
+constexpr Op aluOps[] = {
+    Op::ADD,  Op::SUB,  Op::AND,  Op::OR,   Op::XOR,  Op::SLL,
+    Op::SRL,  Op::SRA,  Op::MUL,  Op::SLT,  Op::SLTU, Op::ADDI,
+    Op::ANDI, Op::ORI,  Op::XORI, Op::SLLI, Op::SRLI, Op::SRAI,
+    Op::SLTI, Op::SLTIU, Op::LUI,
+};
+
+Inst
+randomAluInst(Rng &rng)
+{
+    Inst inst;
+    inst.op = aluOps[rng.below(sizeof(aluOps) / sizeof(aluOps[0]))];
+    inst.rd = static_cast<uint8_t>(rng.range(1, 12));
+    inst.rs = static_cast<uint8_t>(rng.below(13));
+    inst.rt = static_cast<uint8_t>(rng.below(13));
+    switch (inst.op) {
+      case Op::ADDI:
+      case Op::SLTI:
+        inst.imm = static_cast<int32_t>(rng.below(65536)) - 32768;
+        break;
+      case Op::SLLI:
+      case Op::SRLI:
+      case Op::SRAI:
+        inst.imm = static_cast<int32_t>(rng.below(32));
+        break;
+      default:
+        inst.imm = static_cast<int32_t>(rng.below(65536));
+        break;
+    }
+    return inst;
+}
+
+class RandomAluPrograms : public ::testing::TestWithParam<uint32_t>
+{};
+
+TEST_P(RandomAluPrograms, SimulatorMatchesGoldenEvaluator)
+{
+    Rng rng(GetParam() * 2654435761u + 17);
+    Memory mem;
+    Cpu cpu(mem);
+
+    for (int trial = 0; trial < 50; trial++) {
+        const unsigned len = 1 + rng.below(60);
+        isa::Program prog;
+        prog.baseAddr = layout::textBase;
+        std::vector<Inst> insts;
+        for (unsigned i = 0; i < len; i++) {
+            insts.push_back(randomAluInst(rng));
+            prog.words.push_back(isa::encode(insts.back()));
+        }
+        prog.words.push_back(isa::encode(
+            {Op::SYS, 0, 0, 0,
+             static_cast<int32_t>(isa::SysCode::Halt)}));
+        prog.symbols["main"] = prog.baseAddr;
+
+        GoldenAlu golden;
+        cpu.loadProgram(prog);
+        cpu.resetRegs();
+        for (unsigned r = 1; r < 13; r++) {
+            uint32_t seed_value = rng.next();
+            cpu.setReg(r, seed_value);
+            golden.write(r, seed_value);
+        }
+        golden.write(isa::regSp, cpu.reg(isa::regSp));
+        golden.write(isa::regAt, 0);
+
+        for (const auto &inst : insts)
+            golden.step(inst);
+        cpu.run(prog.entry());
+
+        for (unsigned r = 0; r < 13; r++) {
+            ASSERT_EQ(cpu.reg(r), golden.read(r))
+                << "reg " << isa::regName(r) << " trial " << trial
+                << "\n"
+                << isa::disassemble(prog);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomAluPrograms,
+                         ::testing::Range(1u, 9u));
+
+/** Golden evaluator for memory programs: shadow byte array. */
+TEST(RandomMemPrograms, SimulatorMatchesShadowMemory)
+{
+    Rng rng(99);
+    Memory mem;
+    Cpu cpu(mem);
+    constexpr uint32_t base = layout::dataBase;
+    constexpr uint32_t window = 256;
+
+    for (int trial = 0; trial < 200; trial++) {
+        uint8_t shadow[window] = {};
+        uint32_t shadow_regs[4] = {}; // t0..t3 golden values
+
+        isa::Program prog;
+        prog.baseAddr = layout::textBase;
+        // a0 holds the window base (set below, never overwritten).
+        struct MemOp
+        {
+            Inst inst;
+        };
+        const unsigned len = 1 + rng.below(40);
+        std::vector<Inst> insts;
+        for (unsigned i = 0; i < len; i++) {
+            Inst inst;
+            unsigned width_sel = rng.below(3); // 0=byte 1=half 2=word
+            bool is_store = rng.chance(0.5);
+            uint32_t align = 1u << width_sel;
+            inst.imm = static_cast<int32_t>(
+                rng.below(window / align) * align);
+            inst.rs = isa::regA0;
+            inst.rd = static_cast<uint8_t>(5 + rng.below(4)); // t0-t3
+            if (is_store) {
+                inst.op = width_sel == 0   ? Op::SB
+                          : width_sel == 1 ? Op::SH
+                                           : Op::SW;
+            } else {
+                // Mix sign- and zero-extending loads.
+                if (width_sel == 0)
+                    inst.op = rng.chance(0.5) ? Op::LB : Op::LBU;
+                else if (width_sel == 1)
+                    inst.op = rng.chance(0.5) ? Op::LH : Op::LHU;
+                else
+                    inst.op = Op::LW;
+            }
+            insts.push_back(inst);
+            prog.words.push_back(isa::encode(inst));
+        }
+        prog.words.push_back(isa::encode(
+            {Op::SYS, 0, 0, 0,
+             static_cast<int32_t>(isa::SysCode::Halt)}));
+        prog.symbols["main"] = prog.baseAddr;
+
+        cpu.loadProgram(prog);
+        cpu.resetRegs();
+        cpu.setReg(isa::regA0, base);
+        mem.fill(base, window);
+        for (unsigned r = 0; r < 4; r++) {
+            uint32_t v = rng.next();
+            cpu.setReg(5 + r, v);
+            shadow_regs[r] = v;
+        }
+
+        // Golden evaluation.
+        auto ld = [&](uint32_t off, unsigned n) {
+            uint32_t v = 0;
+            for (unsigned b = 0; b < n; b++)
+                v |= static_cast<uint32_t>(shadow[off + b]) << (8 * b);
+            return v;
+        };
+        for (const auto &inst : insts) {
+            uint32_t off = static_cast<uint32_t>(inst.imm);
+            uint32_t &reg = shadow_regs[inst.rd - 5];
+            switch (inst.op) {
+              case Op::SB:
+                shadow[off] = static_cast<uint8_t>(reg);
+                break;
+              case Op::SH:
+                shadow[off] = static_cast<uint8_t>(reg);
+                shadow[off + 1] = static_cast<uint8_t>(reg >> 8);
+                break;
+              case Op::SW:
+                for (unsigned b = 0; b < 4; b++)
+                    shadow[off + b] =
+                        static_cast<uint8_t>(reg >> (8 * b));
+                break;
+              case Op::LB:
+                reg = static_cast<uint32_t>(sext(ld(off, 1), 8));
+                break;
+              case Op::LBU:
+                reg = ld(off, 1);
+                break;
+              case Op::LH:
+                reg = static_cast<uint32_t>(sext(ld(off, 2), 16));
+                break;
+              case Op::LHU:
+                reg = ld(off, 2);
+                break;
+              case Op::LW:
+                reg = ld(off, 4);
+                break;
+              default:
+                FAIL();
+            }
+        }
+        cpu.run(prog.entry());
+
+        for (unsigned r = 0; r < 4; r++) {
+            ASSERT_EQ(cpu.reg(5 + r), shadow_regs[r])
+                << "t" << r << " trial " << trial;
+        }
+        for (uint32_t off = 0; off < window; off++) {
+            ASSERT_EQ(mem.read8(base + off), shadow[off])
+                << "byte " << off << " trial " << trial;
+        }
+    }
+}
+
+} // namespace

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Debugger tests: stepping, breakpoints, fault capture, and the
+ * textual command loop driven through string streams.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "isa/assembler.hh"
+#include "sim/debugger.hh"
+#include "sim/memmap.hh"
+
+namespace
+{
+
+using namespace pb;
+using namespace pb::sim;
+
+class DebuggerTest : public ::testing::Test
+{
+  protected:
+    void
+    load(const std::string &src)
+    {
+        prog = isa::Assembler(layout::textBase).assemble(src);
+        cpu.loadProgram(prog);
+        dbg = std::make_unique<Debugger>(cpu, prog.entry("main"));
+    }
+
+    isa::Program prog;
+    Memory mem;
+    Cpu cpu{mem};
+    std::unique_ptr<Debugger> dbg;
+};
+
+TEST_F(DebuggerTest, SingleStepAdvancesPc)
+{
+    load(R"(
+        main:
+            li t0, 1
+            li t1, 2
+            add t2, t0, t1
+            sys 3
+    )");
+    EXPECT_EQ(dbg->pc(), layout::textBase);
+    EXPECT_EQ(dbg->step(), StopReason::Step);
+    EXPECT_EQ(dbg->pc(), layout::textBase + 4);
+    EXPECT_EQ(dbg->step(2), StopReason::Step);
+    EXPECT_EQ(cpu.reg(7), 3u) << "add must have executed";
+    // The final step hits SYS.
+    EXPECT_EQ(dbg->step(), StopReason::Sys);
+    EXPECT_TRUE(dbg->finished());
+    EXPECT_EQ(dbg->stopCode(), isa::SysCode::Halt);
+    EXPECT_EQ(dbg->steps(), 4u);
+}
+
+TEST_F(DebuggerTest, BreakpointStopsCont)
+{
+    load(R"(
+        main:
+            li t0, 10
+        loop:
+            addi t0, t0, -1
+            bnez t0, loop
+        after:
+            sys 3
+    )");
+    dbg->setBreakpoint(prog.symbols.at("after"));
+    EXPECT_EQ(dbg->cont(), StopReason::Breakpoint);
+    EXPECT_EQ(dbg->pc(), prog.symbols.at("after"));
+    EXPECT_EQ(cpu.reg(5), 0u) << "loop ran to completion";
+    EXPECT_EQ(dbg->cont(), StopReason::Sys);
+}
+
+TEST_F(DebuggerTest, BreakpointInLoopHitsRepeatedly)
+{
+    load(R"(
+        main:
+            li t0, 3
+        loop:
+            addi t0, t0, -1
+            bnez t0, loop
+            sys 3
+    )");
+    uint32_t loop_addr = prog.symbols.at("loop");
+    dbg->setBreakpoint(loop_addr);
+    int hits = 0;
+    while (dbg->cont() == StopReason::Breakpoint)
+        hits++;
+    // Entered at loop 3 times; the first entry is from main's li
+    // (counted), then two back edges.
+    EXPECT_EQ(hits, 3);
+}
+
+TEST_F(DebuggerTest, FaultIsCaptured)
+{
+    load(R"(
+        main:
+            li t0, 0x00080000
+            lw t1, 0(t0)
+            sys 3
+    )");
+    EXPECT_EQ(dbg->cont(), StopReason::Fault);
+    EXPECT_TRUE(dbg->finished());
+    EXPECT_NE(dbg->faultMessage().find("unmapped"),
+              std::string::npos);
+}
+
+TEST_F(DebuggerTest, ReplStepAndInspect)
+{
+    load(R"(
+        main:
+            li t0, 0x42
+            sys 3
+    )");
+    std::stringstream in("r\ns\nr\nq\n");
+    std::stringstream out;
+    dbg->repl(in, out);
+    std::string text = out.str();
+    // Initial pc display, register dumps, and the stepped value.
+    EXPECT_NE(text.find("npe32 debugger"), std::string::npos);
+    EXPECT_NE(text.find("addi"), std::string::npos);
+    EXPECT_NE(text.find("0x00000042"), std::string::npos);
+    EXPECT_NE(text.find("pc   "), std::string::npos);
+}
+
+TEST_F(DebuggerTest, ReplBreakContinueMemoryListing)
+{
+    load(R"(
+        .equ DATA, 0x00100000
+        main:
+            li t0, DATA
+            li t1, 0xabcd
+            sh t1, 0(t0)
+        after:
+            sys 3
+    )");
+    std::stringstream in("b after\nc\nm 0x00100000 4\nl main 8\nq\n");
+    std::stringstream out;
+    dbg->repl(in, out);
+    std::string text = out.str();
+    EXPECT_NE(text.find("breakpoint at"), std::string::npos);
+    EXPECT_NE(text.find("breakpoint\n"), std::string::npos);
+    // Little-endian bytes of 0xabcd.
+    EXPECT_NE(text.find("cd ab 00 00"), std::string::npos);
+    // Listing marks the current instruction.
+    EXPECT_NE(text.find("=> "), std::string::npos);
+}
+
+TEST_F(DebuggerTest, ReplEndsAtProgramExit)
+{
+    load("main: sys 2");
+    std::stringstream in("c\n");
+    std::stringstream out;
+    dbg->repl(in, out);
+    EXPECT_NE(out.str().find("program ended: sys 2"),
+              std::string::npos);
+}
+
+TEST_F(DebuggerTest, ReplHandlesBadCommands)
+{
+    load("main: nop\nsys 3");
+    std::stringstream in("frob\nb\nm\nq\n");
+    std::stringstream out;
+    dbg->repl(in, out);
+    std::string text = out.str();
+    EXPECT_NE(text.find("commands:"), std::string::npos);
+    EXPECT_NE(text.find("usage: b"), std::string::npos);
+    EXPECT_NE(text.find("usage: m"), std::string::npos);
+}
+
+TEST(CpuRunSlice, ResumesExactlyWhereItStopped)
+{
+    Memory mem;
+    Cpu cpu(mem);
+    isa::Program prog = isa::Assembler(layout::textBase).assemble(R"(
+        main:
+            li t0, 0
+            addi t0, t0, 1
+            addi t0, t0, 1
+            addi t0, t0, 1
+            sys 3
+    )");
+    cpu.loadProgram(prog);
+    RunResult slice = cpu.runSlice(prog.entry("main"), 2);
+    EXPECT_TRUE(slice.hitBudget);
+    EXPECT_EQ(slice.instCount, 2u);
+    RunResult rest = cpu.runSlice(slice.nextPc, 1000);
+    EXPECT_FALSE(rest.hitBudget);
+    EXPECT_EQ(cpu.reg(5), 3u);
+    EXPECT_EQ(slice.instCount + rest.instCount, 5u);
+}
+
+} // namespace

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Simulated memory tests: regions, widths, endianness, bounds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "sim/memory.hh"
+
+namespace
+{
+
+using namespace pb;
+using namespace pb::sim;
+using namespace pb::sim::layout;
+
+TEST(Memory, RegionClassification)
+{
+    Memory mem;
+    EXPECT_EQ(mem.classify(textBase), MemRegion::Text);
+    EXPECT_EQ(mem.classify(textBase + textSize - 1), MemRegion::Text);
+    EXPECT_EQ(mem.classify(dataBase), MemRegion::Data);
+    EXPECT_EQ(mem.classify(packetBase + 100), MemRegion::Packet);
+    EXPECT_EQ(mem.classify(stackTop), MemRegion::Stack);
+    EXPECT_EQ(mem.classify(0), MemRegion::Unmapped);
+    EXPECT_EQ(mem.classify(textBase + textSize), MemRegion::Unmapped);
+    EXPECT_EQ(mem.classify(0xffffffff), MemRegion::Unmapped);
+}
+
+TEST(Memory, NonPacketDataPredicate)
+{
+    EXPECT_TRUE(isNonPacketData(MemRegion::Data));
+    EXPECT_TRUE(isNonPacketData(MemRegion::Stack));
+    EXPECT_FALSE(isNonPacketData(MemRegion::Packet));
+    EXPECT_FALSE(isNonPacketData(MemRegion::Text));
+}
+
+TEST(Memory, ReadWriteWidthsLittleEndian)
+{
+    Memory mem;
+    mem.write32(dataBase, 0x11223344);
+    EXPECT_EQ(mem.read8(dataBase), 0x44);
+    EXPECT_EQ(mem.read8(dataBase + 3), 0x11);
+    EXPECT_EQ(mem.read16(dataBase), 0x3344);
+    EXPECT_EQ(mem.read16(dataBase + 2), 0x1122);
+    EXPECT_EQ(mem.read32(dataBase), 0x11223344u);
+
+    mem.write16(dataBase + 4, 0xbeef);
+    EXPECT_EQ(mem.read8(dataBase + 4), 0xef);
+    mem.write8(dataBase + 6, 0x7f);
+    EXPECT_EQ(mem.read8(dataBase + 6), 0x7f);
+}
+
+TEST(Memory, FreshMemoryIsZero)
+{
+    Memory mem;
+    EXPECT_EQ(mem.read32(dataBase + 1024), 0u);
+    EXPECT_EQ(mem.read8(packetBase), 0u);
+}
+
+TEST(Memory, BlockCopyRoundTrip)
+{
+    Memory mem;
+    uint8_t src[37];
+    for (size_t i = 0; i < sizeof(src); i++)
+        src[i] = static_cast<uint8_t>(i * 3 + 1);
+    mem.writeBlock(packetBase + 5, src, sizeof(src));
+    uint8_t dst[37] = {};
+    mem.readBlock(packetBase + 5, dst, sizeof(dst));
+    EXPECT_EQ(std::memcmp(src, dst, sizeof(src)), 0);
+}
+
+TEST(Memory, FillAndReset)
+{
+    Memory mem;
+    mem.fill(dataBase, 16, 0xaa);
+    EXPECT_EQ(mem.read8(dataBase + 15), 0xaa);
+    EXPECT_EQ(mem.read8(dataBase + 16), 0x00);
+    mem.reset();
+    EXPECT_EQ(mem.read8(dataBase + 15), 0x00);
+}
+
+TEST(Memory, UnmappedAccessThrows)
+{
+    Memory mem;
+    EXPECT_THROW(mem.read8(0), MemoryError);
+    EXPECT_THROW(mem.write32(0xdead0000, 1), MemoryError);
+    uint8_t buf[4];
+    EXPECT_THROW(mem.readBlock(0x50, buf, 4), MemoryError);
+}
+
+TEST(Memory, CrossRegionAccessThrows)
+{
+    Memory mem;
+    // Last byte is fine, one past the end is not.
+    EXPECT_NO_THROW(mem.read8(packetBase + packetSize - 1));
+    EXPECT_THROW(mem.read8(packetBase + packetSize), MemoryError);
+    uint8_t buf[8];
+    EXPECT_THROW(mem.readBlock(packetBase + packetSize - 4, buf, 8),
+                 MemoryError);
+}
+
+TEST(Memory, MisalignedAccessThrows)
+{
+    Memory mem;
+    EXPECT_THROW(mem.read32(dataBase + 2), AlignmentError);
+    EXPECT_THROW(mem.read16(dataBase + 1), AlignmentError);
+    EXPECT_THROW(mem.write32(dataBase + 1, 0), AlignmentError);
+    EXPECT_THROW(mem.write16(dataBase + 3, 0), AlignmentError);
+}
+
+TEST(Memory, ZeroLengthBlockOpsAreNoops)
+{
+    Memory mem;
+    EXPECT_NO_THROW(mem.writeBlock(dataBase, nullptr, 0));
+    EXPECT_NO_THROW(mem.readBlock(dataBase, nullptr, 0));
+    EXPECT_NO_THROW(mem.fill(dataBase, 0));
+}
+
+} // namespace

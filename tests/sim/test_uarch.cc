@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Microarchitectural model tests: branch predictor and caches.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "sim/memmap.hh"
+#include "sim/uarch.hh"
+
+namespace
+{
+
+using namespace pb;
+using namespace pb::sim;
+
+TEST(BimodalPredictor, LearnsAlwaysTaken)
+{
+    BimodalPredictor pred(64);
+    for (int i = 0; i < 100; i++)
+        pred.update(0x1000, true);
+    // Initial counter is weakly-not-taken: at most 2 early misses.
+    EXPECT_LE(pred.mispredicts(), 2u);
+    EXPECT_EQ(pred.lookups(), 100u);
+    EXPECT_LT(pred.mispredictRate(), 0.05);
+}
+
+TEST(BimodalPredictor, AlternatingPatternMispredicts)
+{
+    BimodalPredictor pred(64);
+    for (int i = 0; i < 1000; i++)
+        pred.update(0x2000, i % 2 == 0);
+    // A 2-bit counter cannot learn strict alternation.
+    EXPECT_GT(pred.mispredictRate(), 0.4);
+}
+
+TEST(BimodalPredictor, SeparateCountersPerAddress)
+{
+    BimodalPredictor pred(64);
+    // Branch A always taken, branch B never; they use different
+    // counters so both converge.
+    for (int i = 0; i < 100; i++) {
+        pred.update(0x1000, true);
+        pred.update(0x1004, false);
+    }
+    EXPECT_LE(pred.mispredicts(), 2u);
+}
+
+TEST(BimodalPredictor, RejectsNonPowerOfTwo)
+{
+    EXPECT_THROW(BimodalPredictor pred(100), FatalError);
+    EXPECT_THROW(BimodalPredictor pred(0), FatalError);
+}
+
+TEST(CacheModel, HitsAfterFill)
+{
+    CacheModel cache(1024, 32, 2);
+    EXPECT_FALSE(cache.access(0x1000)); // cold miss
+    EXPECT_TRUE(cache.access(0x1000));  // hit
+    EXPECT_TRUE(cache.access(0x101f));  // same line
+    EXPECT_FALSE(cache.access(0x1020)); // next line
+    EXPECT_EQ(cache.accesses(), 4u);
+    EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(CacheModel, LruEvictionWithinSet)
+{
+    // 2-way, 32-byte lines, 4 sets -> set stride 128 bytes.
+    CacheModel cache(256, 32, 2);
+    uint32_t a = 0x0000;
+    uint32_t b = 0x0080; // same set as a
+    uint32_t c = 0x0100; // same set as a and b
+    EXPECT_FALSE(cache.access(a));
+    EXPECT_FALSE(cache.access(b));
+    EXPECT_TRUE(cache.access(a));  // refresh a; b is now LRU
+    EXPECT_FALSE(cache.access(c)); // evicts b
+    EXPECT_TRUE(cache.access(a));
+    EXPECT_FALSE(cache.access(b)); // b was evicted
+}
+
+TEST(CacheModel, FullyCoveredWorkingSetHasNoCapacityMisses)
+{
+    CacheModel cache(4096, 32, 4);
+    // Touch 2 KiB twice; second pass must be all hits.
+    for (uint32_t addr = 0; addr < 2048; addr += 4)
+        cache.access(addr);
+    uint64_t cold_misses = cache.misses();
+    for (uint32_t addr = 0; addr < 2048; addr += 4)
+        cache.access(addr);
+    EXPECT_EQ(cache.misses(), cold_misses);
+    EXPECT_EQ(cold_misses, 2048u / 32u);
+}
+
+TEST(CacheModel, RejectsBadGeometry)
+{
+    EXPECT_THROW(CacheModel(1000, 32, 2), FatalError);
+    EXPECT_THROW(CacheModel(1024, 33, 2), FatalError);
+    EXPECT_THROW(CacheModel(1024, 32, 0), FatalError);
+}
+
+TEST(MicroArchModel, DrivesAllThreeModels)
+{
+    Memory mem;
+    Cpu cpu(mem);
+    isa::Program prog = isa::Assembler(layout::textBase).assemble(R"(
+        .equ DATA, 0x00100000
+        main:
+            li t0, DATA
+            li t1, 100
+        loop:
+            lw t2, 0(t0)
+            sw t2, 4(t0)
+            addi t1, t1, -1
+            bnez t1, loop
+            sys 0
+    )");
+    cpu.loadProgram(prog);
+    MicroArchModel uarch;
+    cpu.setObserver(&uarch);
+    cpu.run(prog.entry());
+
+    EXPECT_GT(uarch.icache().accesses(), 400u);
+    // Tiny loop: everything fits, so the I-cache hit rate is high.
+    EXPECT_LT(uarch.icache().missRate(), 0.01);
+    EXPECT_EQ(uarch.dcache().accesses(), 200u);
+    EXPECT_LT(uarch.dcache().missRate(), 0.05);
+    // Loop branch: taken 99 times then falls through; bimodal learns.
+    EXPECT_EQ(uarch.predictor().lookups(), 100u);
+    EXPECT_LT(uarch.predictor().mispredictRate(), 0.1);
+}
+
+} // namespace
