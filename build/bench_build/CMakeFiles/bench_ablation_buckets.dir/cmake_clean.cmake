@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_buckets"
+  "../bench/bench_ablation_buckets.pdb"
+  "CMakeFiles/bench_ablation_buckets.dir/bench_ablation_buckets.cc.o"
+  "CMakeFiles/bench_ablation_buckets.dir/bench_ablation_buckets.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_buckets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

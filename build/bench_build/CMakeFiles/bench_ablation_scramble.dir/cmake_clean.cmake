@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_scramble"
+  "../bench/bench_ablation_scramble.pdb"
+  "CMakeFiles/bench_ablation_scramble.dir/bench_ablation_scramble.cc.o"
+  "CMakeFiles/bench_ablation_scramble.dir/bench_ablation_scramble.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_scramble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_tsa_vs_cryptopan"
+  "../bench/bench_ablation_tsa_vs_cryptopan.pdb"
+  "CMakeFiles/bench_ablation_tsa_vs_cryptopan.dir/bench_ablation_tsa_vs_cryptopan.cc.o"
+  "CMakeFiles/bench_ablation_tsa_vs_cryptopan.dir/bench_ablation_tsa_vs_cryptopan.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tsa_vs_cryptopan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

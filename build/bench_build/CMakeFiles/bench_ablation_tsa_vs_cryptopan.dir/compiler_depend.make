@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_ablation_tsa_vs_cryptopan.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_delay_parallel"
+  "../bench/bench_ext_delay_parallel.pdb"
+  "CMakeFiles/bench_ext_delay_parallel.dir/bench_ext_delay_parallel.cc.o"
+  "CMakeFiles/bench_ext_delay_parallel.dir/bench_ext_delay_parallel.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_delay_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_flowgraph"
+  "../bench/bench_ext_flowgraph.pdb"
+  "CMakeFiles/bench_ext_flowgraph.dir/bench_ext_flowgraph.cc.o"
+  "CMakeFiles/bench_ext_flowgraph.dir/bench_ext_flowgraph.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_flowgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

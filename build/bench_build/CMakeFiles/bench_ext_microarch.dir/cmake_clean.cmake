@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_microarch"
+  "../bench/bench_ext_microarch.pdb"
+  "CMakeFiles/bench_ext_microarch.dir/bench_ext_microarch.cc.o"
+  "CMakeFiles/bench_ext_microarch.dir/bench_ext_microarch.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_microarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_multicore"
+  "../bench/bench_ext_multicore.pdb"
+  "CMakeFiles/bench_ext_multicore.dir/bench_ext_multicore.cc.o"
+  "CMakeFiles/bench_ext_multicore.dir/bench_ext_multicore.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_multicore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_payload"
+  "../bench/bench_ext_payload.pdb"
+  "CMakeFiles/bench_ext_payload.dir/bench_ext_payload.cc.o"
+  "CMakeFiles/bench_ext_payload.dir/bench_ext_payload.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_payload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

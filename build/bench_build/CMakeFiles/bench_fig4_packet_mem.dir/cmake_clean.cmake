@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_packet_mem"
+  "../bench/bench_fig4_packet_mem.pdb"
+  "CMakeFiles/bench_fig4_packet_mem.dir/bench_fig4_packet_mem.cc.o"
+  "CMakeFiles/bench_fig4_packet_mem.dir/bench_fig4_packet_mem.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_packet_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_nonpacket_mem"
+  "../bench/bench_fig5_nonpacket_mem.pdb"
+  "CMakeFiles/bench_fig5_nonpacket_mem.dir/bench_fig5_nonpacket_mem.cc.o"
+  "CMakeFiles/bench_fig5_nonpacket_mem.dir/bench_fig5_nonpacket_mem.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_nonpacket_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

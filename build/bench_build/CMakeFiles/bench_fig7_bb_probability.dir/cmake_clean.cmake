@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_bb_probability"
+  "../bench/bench_fig7_bb_probability.pdb"
+  "CMakeFiles/bench_fig7_bb_probability.dir/bench_fig7_bb_probability.cc.o"
+  "CMakeFiles/bench_fig7_bb_probability.dir/bench_fig7_bb_probability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_bb_probability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

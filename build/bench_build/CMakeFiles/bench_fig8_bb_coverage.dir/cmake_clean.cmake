@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_bb_coverage"
+  "../bench/bench_fig8_bb_coverage.pdb"
+  "CMakeFiles/bench_fig8_bb_coverage.dir/bench_fig8_bb_coverage.cc.o"
+  "CMakeFiles/bench_fig8_bb_coverage.dir/bench_fig8_bb_coverage.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_bb_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

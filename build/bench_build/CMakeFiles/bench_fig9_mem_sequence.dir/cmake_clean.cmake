@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_mem_sequence"
+  "../bench/bench_fig9_mem_sequence.pdb"
+  "CMakeFiles/bench_fig9_mem_sequence.dir/bench_fig9_mem_sequence.cc.o"
+  "CMakeFiles/bench_fig9_mem_sequence.dir/bench_fig9_mem_sequence.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_mem_sequence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

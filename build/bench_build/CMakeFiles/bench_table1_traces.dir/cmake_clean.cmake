@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_traces"
+  "../bench/bench_table1_traces.pdb"
+  "CMakeFiles/bench_table1_traces.dir/bench_table1_traces.cc.o"
+  "CMakeFiles/bench_table1_traces.dir/bench_table1_traces.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

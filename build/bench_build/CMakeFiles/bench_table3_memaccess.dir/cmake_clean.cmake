@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_memaccess"
+  "../bench/bench_table3_memaccess.pdb"
+  "CMakeFiles/bench_table3_memaccess.dir/bench_table3_memaccess.cc.o"
+  "CMakeFiles/bench_table3_memaccess.dir/bench_table3_memaccess.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_memaccess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

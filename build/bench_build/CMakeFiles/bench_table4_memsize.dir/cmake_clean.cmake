@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_memsize"
+  "../bench/bench_table4_memsize.pdb"
+  "CMakeFiles/bench_table4_memsize.dir/bench_table4_memsize.cc.o"
+  "CMakeFiles/bench_table4_memsize.dir/bench_table4_memsize.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_memsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

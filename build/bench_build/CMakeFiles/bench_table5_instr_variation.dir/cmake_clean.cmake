@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_instr_variation"
+  "../bench/bench_table5_instr_variation.pdb"
+  "CMakeFiles/bench_table5_instr_variation.dir/bench_table5_instr_variation.cc.o"
+  "CMakeFiles/bench_table5_instr_variation.dir/bench_table5_instr_variation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_instr_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table6_unique_instr"
+  "../bench/bench_table6_unique_instr.pdb"
+  "CMakeFiles/bench_table6_unique_instr.dir/bench_table6_unique_instr.cc.o"
+  "CMakeFiles/bench_table6_unique_instr.dir/bench_table6_unique_instr.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_unique_instr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npe_debug.dir/npe_debug.cc.o"
+  "CMakeFiles/npe_debug.dir/npe_debug.cc.o.d"
+  "npe_debug"
+  "npe_debug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npe_debug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

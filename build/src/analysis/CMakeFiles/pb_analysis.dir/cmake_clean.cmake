@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pb_analysis.dir/blockstats.cc.o"
+  "CMakeFiles/pb_analysis.dir/blockstats.cc.o.d"
+  "CMakeFiles/pb_analysis.dir/delaymodel.cc.o"
+  "CMakeFiles/pb_analysis.dir/delaymodel.cc.o.d"
+  "CMakeFiles/pb_analysis.dir/experiments.cc.o"
+  "CMakeFiles/pb_analysis.dir/experiments.cc.o.d"
+  "CMakeFiles/pb_analysis.dir/export.cc.o"
+  "CMakeFiles/pb_analysis.dir/export.cc.o.d"
+  "CMakeFiles/pb_analysis.dir/flowgraph.cc.o"
+  "CMakeFiles/pb_analysis.dir/flowgraph.cc.o.d"
+  "CMakeFiles/pb_analysis.dir/instpattern.cc.o"
+  "CMakeFiles/pb_analysis.dir/instpattern.cc.o.d"
+  "CMakeFiles/pb_analysis.dir/occurrence.cc.o"
+  "CMakeFiles/pb_analysis.dir/occurrence.cc.o.d"
+  "libpb_analysis.a"
+  "libpb_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pb_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pb_anon.dir/tsa.cc.o"
+  "CMakeFiles/pb_anon.dir/tsa.cc.o.d"
+  "libpb_anon.a"
+  "libpb_anon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pb_anon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pb_apps.dir/crc_app.cc.o"
+  "CMakeFiles/pb_apps.dir/crc_app.cc.o.d"
+  "CMakeFiles/pb_apps.dir/flow_class.cc.o"
+  "CMakeFiles/pb_apps.dir/flow_class.cc.o.d"
+  "CMakeFiles/pb_apps.dir/ipv4_radix.cc.o"
+  "CMakeFiles/pb_apps.dir/ipv4_radix.cc.o.d"
+  "CMakeFiles/pb_apps.dir/ipv4_trie.cc.o"
+  "CMakeFiles/pb_apps.dir/ipv4_trie.cc.o.d"
+  "CMakeFiles/pb_apps.dir/nat_app.cc.o"
+  "CMakeFiles/pb_apps.dir/nat_app.cc.o.d"
+  "CMakeFiles/pb_apps.dir/tsa_app.cc.o"
+  "CMakeFiles/pb_apps.dir/tsa_app.cc.o.d"
+  "CMakeFiles/pb_apps.dir/xtea_app.cc.o"
+  "CMakeFiles/pb_apps.dir/xtea_app.cc.o.d"
+  "libpb_apps.a"
+  "libpb_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pb_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

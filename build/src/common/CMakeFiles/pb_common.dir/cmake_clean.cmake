@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pb_common.dir/hash.cc.o"
+  "CMakeFiles/pb_common.dir/hash.cc.o.d"
+  "CMakeFiles/pb_common.dir/logging.cc.o"
+  "CMakeFiles/pb_common.dir/logging.cc.o.d"
+  "CMakeFiles/pb_common.dir/strutil.cc.o"
+  "CMakeFiles/pb_common.dir/strutil.cc.o.d"
+  "CMakeFiles/pb_common.dir/texttable.cc.o"
+  "CMakeFiles/pb_common.dir/texttable.cc.o.d"
+  "libpb_common.a"
+  "libpb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pb_core.dir/multicore.cc.o"
+  "CMakeFiles/pb_core.dir/multicore.cc.o.d"
+  "CMakeFiles/pb_core.dir/packetbench.cc.o"
+  "CMakeFiles/pb_core.dir/packetbench.cc.o.d"
+  "libpb_core.a"
+  "libpb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flow/flowtable.cc" "src/flow/CMakeFiles/pb_flow.dir/flowtable.cc.o" "gcc" "src/flow/CMakeFiles/pb_flow.dir/flowtable.cc.o.d"
+  "/root/repo/src/flow/nat.cc" "src/flow/CMakeFiles/pb_flow.dir/nat.cc.o" "gcc" "src/flow/CMakeFiles/pb_flow.dir/nat.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/pb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

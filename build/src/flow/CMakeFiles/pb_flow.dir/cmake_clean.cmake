@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pb_flow.dir/flowtable.cc.o"
+  "CMakeFiles/pb_flow.dir/flowtable.cc.o.d"
+  "CMakeFiles/pb_flow.dir/nat.cc.o"
+  "CMakeFiles/pb_flow.dir/nat.cc.o.d"
+  "libpb_flow.a"
+  "libpb_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pb_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

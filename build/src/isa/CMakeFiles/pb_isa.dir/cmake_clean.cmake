@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pb_isa.dir/assembler.cc.o"
+  "CMakeFiles/pb_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/pb_isa.dir/disasm.cc.o"
+  "CMakeFiles/pb_isa.dir/disasm.cc.o.d"
+  "CMakeFiles/pb_isa.dir/inst.cc.o"
+  "CMakeFiles/pb_isa.dir/inst.cc.o.d"
+  "CMakeFiles/pb_isa.dir/opcodes.cc.o"
+  "CMakeFiles/pb_isa.dir/opcodes.cc.o.d"
+  "libpb_isa.a"
+  "libpb_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pb_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/ipv4.cc" "src/net/CMakeFiles/pb_net.dir/ipv4.cc.o" "gcc" "src/net/CMakeFiles/pb_net.dir/ipv4.cc.o.d"
+  "/root/repo/src/net/pcap.cc" "src/net/CMakeFiles/pb_net.dir/pcap.cc.o" "gcc" "src/net/CMakeFiles/pb_net.dir/pcap.cc.o.d"
+  "/root/repo/src/net/scramble.cc" "src/net/CMakeFiles/pb_net.dir/scramble.cc.o" "gcc" "src/net/CMakeFiles/pb_net.dir/scramble.cc.o.d"
+  "/root/repo/src/net/tracegen.cc" "src/net/CMakeFiles/pb_net.dir/tracegen.cc.o" "gcc" "src/net/CMakeFiles/pb_net.dir/tracegen.cc.o.d"
+  "/root/repo/src/net/tracestats.cc" "src/net/CMakeFiles/pb_net.dir/tracestats.cc.o" "gcc" "src/net/CMakeFiles/pb_net.dir/tracestats.cc.o.d"
+  "/root/repo/src/net/tsh.cc" "src/net/CMakeFiles/pb_net.dir/tsh.cc.o" "gcc" "src/net/CMakeFiles/pb_net.dir/tsh.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pb_net.dir/ipv4.cc.o"
+  "CMakeFiles/pb_net.dir/ipv4.cc.o.d"
+  "CMakeFiles/pb_net.dir/pcap.cc.o"
+  "CMakeFiles/pb_net.dir/pcap.cc.o.d"
+  "CMakeFiles/pb_net.dir/scramble.cc.o"
+  "CMakeFiles/pb_net.dir/scramble.cc.o.d"
+  "CMakeFiles/pb_net.dir/tracegen.cc.o"
+  "CMakeFiles/pb_net.dir/tracegen.cc.o.d"
+  "CMakeFiles/pb_net.dir/tracestats.cc.o"
+  "CMakeFiles/pb_net.dir/tracestats.cc.o.d"
+  "CMakeFiles/pb_net.dir/tsh.cc.o"
+  "CMakeFiles/pb_net.dir/tsh.cc.o.d"
+  "libpb_net.a"
+  "libpb_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pb_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pb_payload.dir/xtea.cc.o"
+  "CMakeFiles/pb_payload.dir/xtea.cc.o.d"
+  "libpb_payload.a"
+  "libpb_payload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pb_payload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

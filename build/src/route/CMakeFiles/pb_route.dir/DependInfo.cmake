@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/route/lctrie.cc" "src/route/CMakeFiles/pb_route.dir/lctrie.cc.o" "gcc" "src/route/CMakeFiles/pb_route.dir/lctrie.cc.o.d"
+  "/root/repo/src/route/linear.cc" "src/route/CMakeFiles/pb_route.dir/linear.cc.o" "gcc" "src/route/CMakeFiles/pb_route.dir/linear.cc.o.d"
+  "/root/repo/src/route/prefix.cc" "src/route/CMakeFiles/pb_route.dir/prefix.cc.o" "gcc" "src/route/CMakeFiles/pb_route.dir/prefix.cc.o.d"
+  "/root/repo/src/route/radix.cc" "src/route/CMakeFiles/pb_route.dir/radix.cc.o" "gcc" "src/route/CMakeFiles/pb_route.dir/radix.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

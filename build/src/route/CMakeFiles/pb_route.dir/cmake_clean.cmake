@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pb_route.dir/lctrie.cc.o"
+  "CMakeFiles/pb_route.dir/lctrie.cc.o.d"
+  "CMakeFiles/pb_route.dir/linear.cc.o"
+  "CMakeFiles/pb_route.dir/linear.cc.o.d"
+  "CMakeFiles/pb_route.dir/prefix.cc.o"
+  "CMakeFiles/pb_route.dir/prefix.cc.o.d"
+  "CMakeFiles/pb_route.dir/radix.cc.o"
+  "CMakeFiles/pb_route.dir/radix.cc.o.d"
+  "libpb_route.a"
+  "libpb_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pb_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

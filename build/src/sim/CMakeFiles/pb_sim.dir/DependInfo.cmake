@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/accounting.cc" "src/sim/CMakeFiles/pb_sim.dir/accounting.cc.o" "gcc" "src/sim/CMakeFiles/pb_sim.dir/accounting.cc.o.d"
+  "/root/repo/src/sim/bblock.cc" "src/sim/CMakeFiles/pb_sim.dir/bblock.cc.o" "gcc" "src/sim/CMakeFiles/pb_sim.dir/bblock.cc.o.d"
+  "/root/repo/src/sim/cpu.cc" "src/sim/CMakeFiles/pb_sim.dir/cpu.cc.o" "gcc" "src/sim/CMakeFiles/pb_sim.dir/cpu.cc.o.d"
+  "/root/repo/src/sim/debugger.cc" "src/sim/CMakeFiles/pb_sim.dir/debugger.cc.o" "gcc" "src/sim/CMakeFiles/pb_sim.dir/debugger.cc.o.d"
+  "/root/repo/src/sim/memory.cc" "src/sim/CMakeFiles/pb_sim.dir/memory.cc.o" "gcc" "src/sim/CMakeFiles/pb_sim.dir/memory.cc.o.d"
+  "/root/repo/src/sim/timing.cc" "src/sim/CMakeFiles/pb_sim.dir/timing.cc.o" "gcc" "src/sim/CMakeFiles/pb_sim.dir/timing.cc.o.d"
+  "/root/repo/src/sim/uarch.cc" "src/sim/CMakeFiles/pb_sim.dir/uarch.cc.o" "gcc" "src/sim/CMakeFiles/pb_sim.dir/uarch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/pb_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pb_sim.dir/accounting.cc.o"
+  "CMakeFiles/pb_sim.dir/accounting.cc.o.d"
+  "CMakeFiles/pb_sim.dir/bblock.cc.o"
+  "CMakeFiles/pb_sim.dir/bblock.cc.o.d"
+  "CMakeFiles/pb_sim.dir/cpu.cc.o"
+  "CMakeFiles/pb_sim.dir/cpu.cc.o.d"
+  "CMakeFiles/pb_sim.dir/debugger.cc.o"
+  "CMakeFiles/pb_sim.dir/debugger.cc.o.d"
+  "CMakeFiles/pb_sim.dir/memory.cc.o"
+  "CMakeFiles/pb_sim.dir/memory.cc.o.d"
+  "CMakeFiles/pb_sim.dir/timing.cc.o"
+  "CMakeFiles/pb_sim.dir/timing.cc.o.d"
+  "CMakeFiles/pb_sim.dir/uarch.cc.o"
+  "CMakeFiles/pb_sim.dir/uarch.cc.o.d"
+  "libpb_sim.a"
+  "libpb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

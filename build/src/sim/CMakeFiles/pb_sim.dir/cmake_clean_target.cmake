@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpb_sim.a"
+)

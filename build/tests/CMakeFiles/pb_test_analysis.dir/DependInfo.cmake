@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/test_blockstats.cc" "tests/CMakeFiles/pb_test_analysis.dir/analysis/test_blockstats.cc.o" "gcc" "tests/CMakeFiles/pb_test_analysis.dir/analysis/test_blockstats.cc.o.d"
+  "/root/repo/tests/analysis/test_delaymodel.cc" "tests/CMakeFiles/pb_test_analysis.dir/analysis/test_delaymodel.cc.o" "gcc" "tests/CMakeFiles/pb_test_analysis.dir/analysis/test_delaymodel.cc.o.d"
+  "/root/repo/tests/analysis/test_experiments.cc" "tests/CMakeFiles/pb_test_analysis.dir/analysis/test_experiments.cc.o" "gcc" "tests/CMakeFiles/pb_test_analysis.dir/analysis/test_experiments.cc.o.d"
+  "/root/repo/tests/analysis/test_export.cc" "tests/CMakeFiles/pb_test_analysis.dir/analysis/test_export.cc.o" "gcc" "tests/CMakeFiles/pb_test_analysis.dir/analysis/test_export.cc.o.d"
+  "/root/repo/tests/analysis/test_flowgraph.cc" "tests/CMakeFiles/pb_test_analysis.dir/analysis/test_flowgraph.cc.o" "gcc" "tests/CMakeFiles/pb_test_analysis.dir/analysis/test_flowgraph.cc.o.d"
+  "/root/repo/tests/analysis/test_instpattern.cc" "tests/CMakeFiles/pb_test_analysis.dir/analysis/test_instpattern.cc.o" "gcc" "tests/CMakeFiles/pb_test_analysis.dir/analysis/test_instpattern.cc.o.d"
+  "/root/repo/tests/analysis/test_occurrence.cc" "tests/CMakeFiles/pb_test_analysis.dir/analysis/test_occurrence.cc.o" "gcc" "tests/CMakeFiles/pb_test_analysis.dir/analysis/test_occurrence.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/pb_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/pb_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/pb_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/pb_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/anon/CMakeFiles/pb_anon.dir/DependInfo.cmake"
+  "/root/repo/build/src/payload/CMakeFiles/pb_payload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/pb_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pb_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

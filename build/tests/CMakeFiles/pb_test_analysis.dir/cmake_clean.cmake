@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pb_test_analysis.dir/analysis/test_blockstats.cc.o"
+  "CMakeFiles/pb_test_analysis.dir/analysis/test_blockstats.cc.o.d"
+  "CMakeFiles/pb_test_analysis.dir/analysis/test_delaymodel.cc.o"
+  "CMakeFiles/pb_test_analysis.dir/analysis/test_delaymodel.cc.o.d"
+  "CMakeFiles/pb_test_analysis.dir/analysis/test_experiments.cc.o"
+  "CMakeFiles/pb_test_analysis.dir/analysis/test_experiments.cc.o.d"
+  "CMakeFiles/pb_test_analysis.dir/analysis/test_export.cc.o"
+  "CMakeFiles/pb_test_analysis.dir/analysis/test_export.cc.o.d"
+  "CMakeFiles/pb_test_analysis.dir/analysis/test_flowgraph.cc.o"
+  "CMakeFiles/pb_test_analysis.dir/analysis/test_flowgraph.cc.o.d"
+  "CMakeFiles/pb_test_analysis.dir/analysis/test_instpattern.cc.o"
+  "CMakeFiles/pb_test_analysis.dir/analysis/test_instpattern.cc.o.d"
+  "CMakeFiles/pb_test_analysis.dir/analysis/test_occurrence.cc.o"
+  "CMakeFiles/pb_test_analysis.dir/analysis/test_occurrence.cc.o.d"
+  "pb_test_analysis"
+  "pb_test_analysis.pdb"
+  "pb_test_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pb_test_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

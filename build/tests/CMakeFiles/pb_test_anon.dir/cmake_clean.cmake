@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pb_test_anon.dir/anon/test_tsa.cc.o"
+  "CMakeFiles/pb_test_anon.dir/anon/test_tsa.cc.o.d"
+  "pb_test_anon"
+  "pb_test_anon.pdb"
+  "pb_test_anon[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pb_test_anon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pb_test_apps.dir/apps/test_apps_matrix.cc.o"
+  "CMakeFiles/pb_test_apps.dir/apps/test_apps_matrix.cc.o.d"
+  "CMakeFiles/pb_test_apps.dir/apps/test_apps_roundtrip.cc.o"
+  "CMakeFiles/pb_test_apps.dir/apps/test_apps_roundtrip.cc.o.d"
+  "CMakeFiles/pb_test_apps.dir/apps/test_flow_app.cc.o"
+  "CMakeFiles/pb_test_apps.dir/apps/test_flow_app.cc.o.d"
+  "CMakeFiles/pb_test_apps.dir/apps/test_ipv4_apps.cc.o"
+  "CMakeFiles/pb_test_apps.dir/apps/test_ipv4_apps.cc.o.d"
+  "CMakeFiles/pb_test_apps.dir/apps/test_nat_app.cc.o"
+  "CMakeFiles/pb_test_apps.dir/apps/test_nat_app.cc.o.d"
+  "CMakeFiles/pb_test_apps.dir/apps/test_payload_apps.cc.o"
+  "CMakeFiles/pb_test_apps.dir/apps/test_payload_apps.cc.o.d"
+  "CMakeFiles/pb_test_apps.dir/apps/test_tsa_app.cc.o"
+  "CMakeFiles/pb_test_apps.dir/apps/test_tsa_app.cc.o.d"
+  "pb_test_apps"
+  "pb_test_apps.pdb"
+  "pb_test_apps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pb_test_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

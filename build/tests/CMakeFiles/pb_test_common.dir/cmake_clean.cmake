@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pb_test_common.dir/common/test_bitops.cc.o"
+  "CMakeFiles/pb_test_common.dir/common/test_bitops.cc.o.d"
+  "CMakeFiles/pb_test_common.dir/common/test_hash.cc.o"
+  "CMakeFiles/pb_test_common.dir/common/test_hash.cc.o.d"
+  "CMakeFiles/pb_test_common.dir/common/test_logging.cc.o"
+  "CMakeFiles/pb_test_common.dir/common/test_logging.cc.o.d"
+  "CMakeFiles/pb_test_common.dir/common/test_rng.cc.o"
+  "CMakeFiles/pb_test_common.dir/common/test_rng.cc.o.d"
+  "CMakeFiles/pb_test_common.dir/common/test_strutil.cc.o"
+  "CMakeFiles/pb_test_common.dir/common/test_strutil.cc.o.d"
+  "CMakeFiles/pb_test_common.dir/common/test_texttable.cc.o"
+  "CMakeFiles/pb_test_common.dir/common/test_texttable.cc.o.d"
+  "pb_test_common"
+  "pb_test_common.pdb"
+  "pb_test_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pb_test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

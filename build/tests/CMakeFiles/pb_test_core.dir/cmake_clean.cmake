@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pb_test_core.dir/core/test_multicore.cc.o"
+  "CMakeFiles/pb_test_core.dir/core/test_multicore.cc.o.d"
+  "CMakeFiles/pb_test_core.dir/core/test_packetbench.cc.o"
+  "CMakeFiles/pb_test_core.dir/core/test_packetbench.cc.o.d"
+  "pb_test_core"
+  "pb_test_core.pdb"
+  "pb_test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pb_test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pb_test_flow.dir/flow/test_flowtable.cc.o"
+  "CMakeFiles/pb_test_flow.dir/flow/test_flowtable.cc.o.d"
+  "pb_test_flow"
+  "pb_test_flow.pdb"
+  "pb_test_flow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pb_test_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/isa/test_assembler.cc" "tests/CMakeFiles/pb_test_isa.dir/isa/test_assembler.cc.o" "gcc" "tests/CMakeFiles/pb_test_isa.dir/isa/test_assembler.cc.o.d"
+  "/root/repo/tests/isa/test_disasm.cc" "tests/CMakeFiles/pb_test_isa.dir/isa/test_disasm.cc.o" "gcc" "tests/CMakeFiles/pb_test_isa.dir/isa/test_disasm.cc.o.d"
+  "/root/repo/tests/isa/test_encoding.cc" "tests/CMakeFiles/pb_test_isa.dir/isa/test_encoding.cc.o" "gcc" "tests/CMakeFiles/pb_test_isa.dir/isa/test_encoding.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/pb_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pb_test_isa.dir/isa/test_assembler.cc.o"
+  "CMakeFiles/pb_test_isa.dir/isa/test_assembler.cc.o.d"
+  "CMakeFiles/pb_test_isa.dir/isa/test_disasm.cc.o"
+  "CMakeFiles/pb_test_isa.dir/isa/test_disasm.cc.o.d"
+  "CMakeFiles/pb_test_isa.dir/isa/test_encoding.cc.o"
+  "CMakeFiles/pb_test_isa.dir/isa/test_encoding.cc.o.d"
+  "pb_test_isa"
+  "pb_test_isa.pdb"
+  "pb_test_isa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pb_test_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/test_ipv4.cc" "tests/CMakeFiles/pb_test_net.dir/net/test_ipv4.cc.o" "gcc" "tests/CMakeFiles/pb_test_net.dir/net/test_ipv4.cc.o.d"
+  "/root/repo/tests/net/test_pcap.cc" "tests/CMakeFiles/pb_test_net.dir/net/test_pcap.cc.o" "gcc" "tests/CMakeFiles/pb_test_net.dir/net/test_pcap.cc.o.d"
+  "/root/repo/tests/net/test_pcap_fuzz.cc" "tests/CMakeFiles/pb_test_net.dir/net/test_pcap_fuzz.cc.o" "gcc" "tests/CMakeFiles/pb_test_net.dir/net/test_pcap_fuzz.cc.o.d"
+  "/root/repo/tests/net/test_scramble.cc" "tests/CMakeFiles/pb_test_net.dir/net/test_scramble.cc.o" "gcc" "tests/CMakeFiles/pb_test_net.dir/net/test_scramble.cc.o.d"
+  "/root/repo/tests/net/test_tracegen.cc" "tests/CMakeFiles/pb_test_net.dir/net/test_tracegen.cc.o" "gcc" "tests/CMakeFiles/pb_test_net.dir/net/test_tracegen.cc.o.d"
+  "/root/repo/tests/net/test_tracestats.cc" "tests/CMakeFiles/pb_test_net.dir/net/test_tracestats.cc.o" "gcc" "tests/CMakeFiles/pb_test_net.dir/net/test_tracestats.cc.o.d"
+  "/root/repo/tests/net/test_tsh.cc" "tests/CMakeFiles/pb_test_net.dir/net/test_tsh.cc.o" "gcc" "tests/CMakeFiles/pb_test_net.dir/net/test_tsh.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/pb_flow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pb_test_net.dir/net/test_ipv4.cc.o"
+  "CMakeFiles/pb_test_net.dir/net/test_ipv4.cc.o.d"
+  "CMakeFiles/pb_test_net.dir/net/test_pcap.cc.o"
+  "CMakeFiles/pb_test_net.dir/net/test_pcap.cc.o.d"
+  "CMakeFiles/pb_test_net.dir/net/test_pcap_fuzz.cc.o"
+  "CMakeFiles/pb_test_net.dir/net/test_pcap_fuzz.cc.o.d"
+  "CMakeFiles/pb_test_net.dir/net/test_scramble.cc.o"
+  "CMakeFiles/pb_test_net.dir/net/test_scramble.cc.o.d"
+  "CMakeFiles/pb_test_net.dir/net/test_tracegen.cc.o"
+  "CMakeFiles/pb_test_net.dir/net/test_tracegen.cc.o.d"
+  "CMakeFiles/pb_test_net.dir/net/test_tracestats.cc.o"
+  "CMakeFiles/pb_test_net.dir/net/test_tracestats.cc.o.d"
+  "CMakeFiles/pb_test_net.dir/net/test_tsh.cc.o"
+  "CMakeFiles/pb_test_net.dir/net/test_tsh.cc.o.d"
+  "pb_test_net"
+  "pb_test_net.pdb"
+  "pb_test_net[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pb_test_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pb_test_payload.dir/payload/test_xtea.cc.o"
+  "CMakeFiles/pb_test_payload.dir/payload/test_xtea.cc.o.d"
+  "pb_test_payload"
+  "pb_test_payload.pdb"
+  "pb_test_payload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pb_test_payload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

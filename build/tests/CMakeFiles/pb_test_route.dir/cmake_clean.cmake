@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pb_test_route.dir/route/test_lpm.cc.o"
+  "CMakeFiles/pb_test_route.dir/route/test_lpm.cc.o.d"
+  "CMakeFiles/pb_test_route.dir/route/test_prefix.cc.o"
+  "CMakeFiles/pb_test_route.dir/route/test_prefix.cc.o.d"
+  "pb_test_route"
+  "pb_test_route.pdb"
+  "pb_test_route[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pb_test_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_accounting.cc" "tests/CMakeFiles/pb_test_sim.dir/sim/test_accounting.cc.o" "gcc" "tests/CMakeFiles/pb_test_sim.dir/sim/test_accounting.cc.o.d"
+  "/root/repo/tests/sim/test_bblock.cc" "tests/CMakeFiles/pb_test_sim.dir/sim/test_bblock.cc.o" "gcc" "tests/CMakeFiles/pb_test_sim.dir/sim/test_bblock.cc.o.d"
+  "/root/repo/tests/sim/test_cpu.cc" "tests/CMakeFiles/pb_test_sim.dir/sim/test_cpu.cc.o" "gcc" "tests/CMakeFiles/pb_test_sim.dir/sim/test_cpu.cc.o.d"
+  "/root/repo/tests/sim/test_cpu_random.cc" "tests/CMakeFiles/pb_test_sim.dir/sim/test_cpu_random.cc.o" "gcc" "tests/CMakeFiles/pb_test_sim.dir/sim/test_cpu_random.cc.o.d"
+  "/root/repo/tests/sim/test_debugger.cc" "tests/CMakeFiles/pb_test_sim.dir/sim/test_debugger.cc.o" "gcc" "tests/CMakeFiles/pb_test_sim.dir/sim/test_debugger.cc.o.d"
+  "/root/repo/tests/sim/test_memory.cc" "tests/CMakeFiles/pb_test_sim.dir/sim/test_memory.cc.o" "gcc" "tests/CMakeFiles/pb_test_sim.dir/sim/test_memory.cc.o.d"
+  "/root/repo/tests/sim/test_timing.cc" "tests/CMakeFiles/pb_test_sim.dir/sim/test_timing.cc.o" "gcc" "tests/CMakeFiles/pb_test_sim.dir/sim/test_timing.cc.o.d"
+  "/root/repo/tests/sim/test_uarch.cc" "tests/CMakeFiles/pb_test_sim.dir/sim/test_uarch.cc.o" "gcc" "tests/CMakeFiles/pb_test_sim.dir/sim/test_uarch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/pb_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

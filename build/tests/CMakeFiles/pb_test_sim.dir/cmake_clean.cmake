@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pb_test_sim.dir/sim/test_accounting.cc.o"
+  "CMakeFiles/pb_test_sim.dir/sim/test_accounting.cc.o.d"
+  "CMakeFiles/pb_test_sim.dir/sim/test_bblock.cc.o"
+  "CMakeFiles/pb_test_sim.dir/sim/test_bblock.cc.o.d"
+  "CMakeFiles/pb_test_sim.dir/sim/test_cpu.cc.o"
+  "CMakeFiles/pb_test_sim.dir/sim/test_cpu.cc.o.d"
+  "CMakeFiles/pb_test_sim.dir/sim/test_cpu_random.cc.o"
+  "CMakeFiles/pb_test_sim.dir/sim/test_cpu_random.cc.o.d"
+  "CMakeFiles/pb_test_sim.dir/sim/test_debugger.cc.o"
+  "CMakeFiles/pb_test_sim.dir/sim/test_debugger.cc.o.d"
+  "CMakeFiles/pb_test_sim.dir/sim/test_memory.cc.o"
+  "CMakeFiles/pb_test_sim.dir/sim/test_memory.cc.o.d"
+  "CMakeFiles/pb_test_sim.dir/sim/test_timing.cc.o"
+  "CMakeFiles/pb_test_sim.dir/sim/test_timing.cc.o.d"
+  "CMakeFiles/pb_test_sim.dir/sim/test_uarch.cc.o"
+  "CMakeFiles/pb_test_sim.dir/sim/test_uarch.cc.o.d"
+  "pb_test_sim"
+  "pb_test_sim.pdb"
+  "pb_test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pb_test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

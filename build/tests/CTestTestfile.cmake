@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/pb_test_common[1]_include.cmake")
+include("/root/repo/build/tests/pb_test_isa[1]_include.cmake")
+include("/root/repo/build/tests/pb_test_sim[1]_include.cmake")
+include("/root/repo/build/tests/pb_test_net[1]_include.cmake")
+include("/root/repo/build/tests/pb_test_route[1]_include.cmake")
+include("/root/repo/build/tests/pb_test_flow[1]_include.cmake")
+include("/root/repo/build/tests/pb_test_payload[1]_include.cmake")
+include("/root/repo/build/tests/pb_test_anon[1]_include.cmake")
+include("/root/repo/build/tests/pb_test_core[1]_include.cmake")
+include("/root/repo/build/tests/pb_test_apps[1]_include.cmake")
+include("/root/repo/build/tests/pb_test_analysis[1]_include.cmake")
