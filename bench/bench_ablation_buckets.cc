@@ -19,7 +19,7 @@ int
 main(int argc, char **argv)
 {
     using namespace pb;
-    return bench::benchMain([&] {
+    return bench::benchMain(argc, argv, [&] {
         uint32_t packets = bench::packetArg(argc, argv, 20'000);
         bench::banner(
             strprintf("Ablation: Flow-Table Buckets vs "

@@ -44,7 +44,7 @@ int
 main(int argc, char **argv)
 {
     using namespace pb;
-    return bench::benchMain([&] {
+    return bench::benchMain(argc, argv, [&] {
         uint32_t packets = bench::packetArg(argc, argv, 300);
         bench::banner(
             strprintf("Ablation: Routing Table Size vs Lookup Cost "

@@ -46,7 +46,7 @@ int
 main(int argc, char **argv)
 {
     using namespace pb;
-    return bench::benchMain([&] {
+    return bench::benchMain(argc, argv, [&] {
         uint32_t iterations = bench::packetArg(argc, argv, 2'000'000);
         bench::banner(
             "Ablation: TSA vs Full Per-Bit Prefix-Preserving "

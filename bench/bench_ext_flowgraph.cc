@@ -21,7 +21,7 @@ main(int argc, char **argv)
 {
     using namespace pb;
     using namespace pb::an;
-    return bench::benchMain([&] {
+    return bench::benchMain(argc, argv, [&] {
         uint32_t packets = bench::packetArg(argc, argv, 200);
         bench::banner(
             strprintf("Extension: Weighted Packet-Processing Flow "

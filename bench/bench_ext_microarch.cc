@@ -20,7 +20,7 @@ main(int argc, char **argv)
 {
     using namespace pb;
     using namespace pb::an;
-    return bench::benchMain([&] {
+    return bench::benchMain(argc, argv, [&] {
         uint32_t packets = bench::packetArg(argc, argv, 2'000);
         bench::banner(
             strprintf("Extension: Microarchitectural Statistics "

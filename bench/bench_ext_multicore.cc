@@ -23,7 +23,7 @@ main(int argc, char **argv)
 {
     using namespace pb;
     using namespace pb::core;
-    return bench::benchMain([&] {
+    return bench::benchMain(argc, argv, [&] {
         uint32_t packets = bench::packetArg(argc, argv, 8'000);
         bench::banner(
             strprintf("Extension: Flow-Pinned Multi-Engine Scaling "

@@ -43,10 +43,10 @@ costAtSize(core::Application &app, uint16_t total_len)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace pb;
-    return bench::benchMain([&] {
+    return bench::benchMain(argc, argv, [&] {
         bench::banner(
             "Extension: HPA vs PPA Cost vs Packet Size",
             "header apps are size-independent; payload apps scale "

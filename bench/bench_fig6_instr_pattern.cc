@@ -8,10 +8,10 @@
 #include "bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace pb;
-    return bench::benchMain([&] {
+    return bench::benchMain(argc, argv, [&] {
         bench::banner(
             "Figure 6: Instruction Access Pattern (one MRA packet)",
             "radix shows repeated loop structure; flow "

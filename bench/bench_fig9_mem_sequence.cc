@@ -8,10 +8,10 @@
 #include "bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace pb;
-    return bench::benchMain([&] {
+    return bench::benchMain(argc, argv, [&] {
         bench::banner(
             "Figure 9: Data Memory Access Sequence (one MRA packet)",
             "radix reads the header up front then works in table "

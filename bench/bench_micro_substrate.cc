@@ -7,9 +7,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <sstream>
+#include <vector>
 
 #include "anon/tsa.hh"
+#include "bench_util.hh"
 #include "apps/flow_class.hh"
 #include "apps/ipv4_radix.hh"
 #include "common/hash.hh"
@@ -228,4 +231,47 @@ BENCHMARK(BM_InetChecksum);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Hand-rolled main instead of BENCHMARK_MAIN(): peel off the
+// PacketBench-wide `--report` flag before google-benchmark sees the
+// arguments, so this binary emits the same JSON run-report artifact
+// as the table/figure benches.
+int
+main(int argc, char **argv)
+{
+    auto start = std::chrono::steady_clock::now();
+    std::optional<std::string> report =
+        pb::bench::reportArg(argc, argv);
+
+    std::vector<char *> passthrough;
+    for (int i = 0; i < argc; i++) {
+        std::string_view arg = argv[i];
+        if (pb::startsWith(arg, "--report="))
+            continue;
+        if (arg == "--report") {
+            i++; // skip the file operand as well
+            continue;
+        }
+        passthrough.push_back(argv[i]);
+    }
+    int bench_argc = static_cast<int>(passthrough.size());
+    benchmark::Initialize(&bench_argc, passthrough.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                               passthrough.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    if (report) {
+        pb::obs::RunMeta meta =
+            pb::obs::RunMeta::fromArgv(argc, argv);
+        meta.wallSeconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() -
+                               start)
+                               .count();
+        pb::obs::writeRunReportFile(*report, meta,
+                                    pb::obs::defaultRegistry());
+        std::fprintf(stderr, "report written to %s\n",
+                     report->c_str());
+    }
+    return 0;
+}

@@ -6,10 +6,10 @@
 #include "bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace pb;
-    return bench::benchMain([&] {
+    return bench::benchMain(argc, argv, [&] {
         bench::banner(
             "Table I: Packet Traces Used to Evaluate Applications",
             "MRA/COS/ODU are NLANR backbone traces; LAN is a local "

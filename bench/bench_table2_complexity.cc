@@ -10,7 +10,7 @@ int
 main(int argc, char **argv)
 {
     using namespace pb;
-    return bench::benchMain([&] {
+    return bench::benchMain(argc, argv, [&] {
         uint32_t packets = bench::packetArg(argc, argv, 10'000);
         bench::banner(
             strprintf("Table II: Average Instructions per Packet "

@@ -11,7 +11,7 @@ int
 main(int argc, char **argv)
 {
     using namespace pb;
-    return bench::benchMain([&] {
+    return bench::benchMain(argc, argv, [&] {
         uint32_t packets = bench::packetArg(argc, argv, 100'000);
         bench::banner(
             strprintf("Table V: Variation of Executed Instructions "

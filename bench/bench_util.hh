@@ -3,19 +3,25 @@
  * Shared helpers for the table/figure bench binaries.
  *
  * Every binary accepts an optional `--packets=N` argument to scale
- * the experiment, and prints the paper reference values next to the
- * reproduction so the two are directly comparable.
+ * the experiment and an optional `--report=FILE` (or `--report
+ * FILE`) argument to write a structured JSON run report
+ * (obs/report.hh) of everything the run published into the default
+ * metrics registry, and prints the paper reference values next to
+ * the reproduction so the two are directly comparable.
  */
 
 #ifndef PB_BENCH_BENCH_UTIL_HH
 #define PB_BENCH_BENCH_UTIL_HH
 
+#include <chrono>
 #include <cstdio>
+#include <optional>
 #include <string>
 
 #include "analysis/experiments.hh"
 #include "common/logging.hh"
 #include "common/strutil.hh"
+#include "obs/report.hh"
 
 namespace pb::bench
 {
@@ -35,6 +41,20 @@ packetArg(int argc, char **argv, uint32_t fallback)
     return fallback;
 }
 
+/** Parse `--report=FILE` or `--report FILE` from argv. */
+inline std::optional<std::string>
+reportArg(int argc, char **argv)
+{
+    for (int i = 1; i < argc; i++) {
+        std::string_view arg = argv[i];
+        if (startsWith(arg, "--report=") && arg.size() > 9)
+            return std::string(arg.substr(9));
+        if (arg == "--report" && i + 1 < argc)
+            return std::string(argv[i + 1]);
+    }
+    return std::nullopt;
+}
+
 /** Print a section header for one experiment. */
 inline void
 banner(const std::string &title, const std::string &paper_note)
@@ -48,13 +68,29 @@ banner(const std::string &title, const std::string &paper_note)
                 "---------------------\n");
 }
 
-/** Run a table/figure main body with uniform error handling. */
+/**
+ * Run a table/figure main body with uniform error handling.  After
+ * the body finishes, `--report=FILE` serializes the default metrics
+ * registry plus run metadata as JSON into FILE.
+ */
 template <typename Fn>
 int
-benchMain(Fn &&body)
+benchMain(int argc, char **argv, Fn &&body)
 {
     try {
+        auto start = std::chrono::steady_clock::now();
         body();
+        if (auto path = reportArg(argc, argv)) {
+            obs::RunMeta meta = obs::RunMeta::fromArgv(argc, argv);
+            meta.wallSeconds =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            obs::writeRunReportFile(*path, meta,
+                                    obs::defaultRegistry());
+            std::fprintf(stderr, "report written to %s\n",
+                         path->c_str());
+        }
         return 0;
     } catch (const Error &e) {
         std::fprintf(stderr, "%s\n", e.what());

@@ -10,14 +10,19 @@
  * designers need, as one command.
  *
  * Usage: workload_report [trace.pcap|MRA|COS|ODU|LAN] [packets]
- *                        [csv-dir]
+ *                        [csv-dir] [--report=FILE]
  *
  * With a third argument, per-packet statistics for every application
- * are also written as CSV files into the given directory.
+ * are also written as CSV files into the given directory.  With
+ * `--report=FILE`, the run additionally emits the structured JSON
+ * run report (obs/report.hh) holding every metric the run published
+ * — the machine-readable twin of the tables below.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <optional>
 
 #include "analysis/delaymodel.hh"
 #include "analysis/export.hh"
@@ -28,6 +33,7 @@
 #include "common/texttable.hh"
 #include "net/pcap.hh"
 #include "net/tracegen.hh"
+#include "obs/report.hh"
 
 namespace
 {
@@ -57,13 +63,26 @@ int
 main(int argc, char **argv)
 {
     try {
-        std::string spec = argc > 1 ? argv[1] : "MRA";
+        auto start = std::chrono::steady_clock::now();
+        // Split `--report=FILE` off from the positional arguments.
+        std::optional<std::string> report_path;
+        std::vector<std::string> pos;
+        for (int i = 1; i < argc; i++) {
+            std::string_view arg = argv[i];
+            if (startsWith(arg, "--report=")) {
+                report_path = std::string(arg.substr(9));
+                continue;
+            }
+            pos.emplace_back(arg);
+        }
+
+        std::string spec = pos.size() > 0 ? pos[0] : "MRA";
         uint32_t packets = 2'000;
-        if (argc > 2) {
-            if (auto v = parseInt(argv[2]))
+        if (pos.size() > 1) {
+            if (auto v = parseInt(pos[1]))
                 packets = static_cast<uint32_t>(*v);
         }
-        std::string csv_dir = argc > 3 ? argv[3] : "";
+        std::string csv_dir = pos.size() > 2 ? pos[2] : "";
 
         ExperimentConfig cfg;
         CoreModel core;
@@ -131,6 +150,19 @@ main(int argc, char **argv)
                     "pkt-mem %.0f cyc, data-mem %.0f cyc)\n",
                     core.clockMhz, core.cpi, core.packetMemCycles,
                     core.dataMemCycles);
+        if (report_path) {
+            obs::RunMeta meta = obs::RunMeta::fromArgv(argc, argv);
+            meta.wallSeconds =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            meta.set("trace", spec);
+            meta.set("packets", std::to_string(packets));
+            obs::writeRunReportFile(*report_path, meta,
+                                    obs::defaultRegistry());
+            std::printf("\nJSON run report written to %s\n",
+                        report_path->c_str());
+        }
         return 0;
     } catch (const pb::Error &e) {
         std::fprintf(stderr, "%s\n", e.what());

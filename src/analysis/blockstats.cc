@@ -9,6 +9,7 @@
 #include <numeric>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
 
 namespace pb::an
 {
@@ -17,6 +18,7 @@ std::vector<double>
 blockProbabilities(const std::vector<sim::PacketStats> &packets,
                    uint32_t num_blocks)
 {
+    PB_SCOPED_TIMER("phase.analyze_ns");
     if (packets.empty())
         fatal("block probabilities of an empty run");
     std::vector<uint64_t> hits(num_blocks, 0);
@@ -39,6 +41,7 @@ std::vector<CoveragePoint>
 coverageCurve(const std::vector<sim::PacketStats> &packets,
               uint32_t num_blocks)
 {
+    PB_SCOPED_TIMER("phase.analyze_ns");
     std::vector<double> probabilities =
         blockProbabilities(packets, num_blocks);
 

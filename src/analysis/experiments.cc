@@ -17,6 +17,7 @@
 #include "apps/xtea_app.hh"
 #include "common/strutil.hh"
 #include "common/texttable.hh"
+#include "obs/metrics.hh"
 #include "route/prefix.hh"
 
 namespace pb::an
@@ -182,6 +183,7 @@ std::string
 renderTable2(const ExperimentConfig &cfg, uint32_t packets_per_trace)
 {
     auto matrix = runMatrix(cfg, packets_per_trace);
+    PB_SCOPED_TIMER("phase.analyze_ns");
     TextTable table(5);
     table.header({"Trace Name", "IPv4-radix", "IPv4-trie",
                   "Flow Classification", "TSA"});
@@ -208,6 +210,7 @@ std::string
 renderTable3(const ExperimentConfig &cfg, uint32_t packets_per_trace)
 {
     auto matrix = runMatrix(cfg, packets_per_trace);
+    PB_SCOPED_TIMER("phase.analyze_ns");
     TextTable table(9);
     table.header({"Trace Name", "radix Pkt", "radix Non-pkt",
                   "trie Pkt", "trie Non-pkt", "flow Pkt",

@@ -7,6 +7,7 @@
 
 #include <cstddef>
 #include <unordered_map>
+#include "obs/metrics.hh"
 
 namespace pb::an
 {
@@ -14,6 +15,7 @@ namespace pb::an
 std::vector<uint32_t>
 uniqueIndexSeries(const std::vector<uint32_t> &inst_trace)
 {
+    PB_SCOPED_TIMER("phase.analyze_ns");
     std::unordered_map<uint32_t, uint32_t> first_touch;
     first_touch.reserve(inst_trace.size());
     std::vector<uint32_t> series;

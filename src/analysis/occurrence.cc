@@ -9,6 +9,7 @@
 #include <map>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
 
 namespace pb::an
 {
@@ -16,6 +17,7 @@ namespace pb::an
 OccurrenceSummary
 summarize(const std::vector<uint64_t> &values, size_t top_k)
 {
+    PB_SCOPED_TIMER("phase.analyze_ns");
     if (values.empty())
         fatal("occurrence summary of an empty sample");
 

@@ -5,15 +5,85 @@
 
 #include "logging.hh"
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 
 namespace pb
 {
 
 namespace
 {
+
 bool quietMode = false;
+
+/** -1 = not overridden; otherwise a LogLevel value. */
+int logLevelOverride = -1;
+
+LogLevel
+envLogLevel()
+{
+    static LogLevel level = [] {
+        const char *env = std::getenv("PB_LOG_LEVEL");
+        return parseLogLevel(env ? env : "", LogLevel::Warn);
+    }();
+    return level;
+}
+
 } // namespace
+
+LogLevel
+parseLogLevel(std::string_view text, LogLevel fallback)
+{
+    std::string lower(text);
+    for (char &c : lower)
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    if (lower == "error" || lower == "0")
+        return LogLevel::Error;
+    if (lower == "warn" || lower == "warning" || lower == "1")
+        return LogLevel::Warn;
+    if (lower == "info" || lower == "2")
+        return LogLevel::Info;
+    if (lower == "debug" || lower == "3")
+        return LogLevel::Debug;
+    if (lower == "trace" || lower == "4")
+        return LogLevel::Trace;
+    return fallback;
+}
+
+LogLevel
+logLevel()
+{
+    if (logLevelOverride >= 0)
+        return static_cast<LogLevel>(logLevelOverride);
+    return envLogLevel();
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    logLevelOverride = static_cast<int>(level);
+}
+
+bool
+logEnabled(LogLevel level)
+{
+    return static_cast<int>(level) <= static_cast<int>(logLevel());
+}
+
+void
+logMessage(LogLevel level, const char *fmt, ...)
+{
+    static const char *names[] = {"error", "warn", "info", "debug",
+                                  "trace"};
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vstrprintf(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "pb[%s]: %s\n",
+                 names[static_cast<int>(level)], msg.c_str());
+}
 
 std::string
 vstrprintf(const char *fmt, va_list ap)

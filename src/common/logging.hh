@@ -20,6 +20,7 @@
 #include <cstdarg>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 
 namespace pb
 {
@@ -69,6 +70,57 @@ void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 /** Globally silence warn()/inform() (used by benchmarks). */
 void setQuiet(bool quiet);
 
+/**
+ * @name Leveled diagnostics
+ *
+ * PB_LOG(level, fmt, ...) gives framework code a uniform way to emit
+ * progress, heartbeat, and debug lines without printf scatter.  The
+ * threshold comes from the PB_LOG_LEVEL environment variable (a name
+ * — "error", "warn", "info", "debug", "trace" — or the numeric value
+ * 0-4) and defaults to Warn, so Info and below are silent unless the
+ * user opts in.  setLogLevel() overrides the environment (tests).
+ * @{
+ */
+
+/** Diagnostic verbosity levels, most severe first. */
+enum class LogLevel
+{
+    Error = 0,
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
+    Trace = 4,
+};
+
+/** Parse a level name or digit; @p fallback on anything else. */
+LogLevel parseLogLevel(std::string_view text, LogLevel fallback);
+
+/** Current threshold (PB_LOG_LEVEL, unless overridden). */
+LogLevel logLevel();
+
+/** Override the threshold, winning over the environment. */
+void setLogLevel(LogLevel level);
+
+/** True when messages at @p level are emitted. */
+bool logEnabled(LogLevel level);
+
+/** Emit one leveled message on stderr ("pb[info]: ..."). */
+void logMessage(LogLevel level, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/** @} */
+
 } // namespace pb
+
+/**
+ * Leveled diagnostic: PB_LOG(Info, "did %d things", n).  The level
+ * is a bare LogLevel enumerator name; arguments are not evaluated
+ * when the level is filtered out.
+ */
+#define PB_LOG(level, ...)                                             \
+    do {                                                               \
+        if (pb::logEnabled(pb::LogLevel::level))                       \
+            pb::logMessage(pb::LogLevel::level, __VA_ARGS__);          \
+    } while (0)
 
 #endif // PB_COMMON_LOGGING_HH

@@ -7,6 +7,7 @@
 
 #include "common/hash.hh"
 #include "net/ipv4.hh"
+#include "obs/metrics.hh"
 
 namespace pb::core
 {
@@ -67,6 +68,7 @@ MultiCoreBench::processPacket(net::Packet &packet)
     PacketOutcome outcome = engines[index]->processPacket(packet);
     loads[index].packets++;
     loads[index].instructions += outcome.stats.instCount;
+    PB_COUNTER("mc.packets");
     return index;
 }
 
@@ -79,7 +81,12 @@ MultiCoreBench::run(net::TraceSource &source, uint32_t max_packets)
             break;
         processPacket(*packet);
     }
-    return result();
+    MultiCoreResult res = result();
+    obs::Registry &reg = obs::defaultRegistry();
+    reg.gauge("mc.engines").set(numEngines());
+    reg.gauge("mc.imbalance").set(res.imbalance());
+    reg.gauge("mc.speedup").set(res.speedup());
+    return res;
 }
 
 MultiCoreResult

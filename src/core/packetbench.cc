@@ -5,6 +5,8 @@
 
 #include "packetbench.hh"
 
+#include <chrono>
+
 #include "sim/memmap.hh"
 
 namespace pb::core
@@ -27,10 +29,81 @@ PacketBench::PacketBench(Application &app_, BenchConfig cfg_)
         uarch = std::make_unique<sim::MicroArchModel>();
         fanout.add(uarch.get());
     }
+    if (cfg.profile) {
+        prof = std::make_unique<obs::HotSpotProfiler>(cpu.program(),
+                                                      *blockMap);
+        // Ahead of the timer, so cycle attribution sees each
+        // instruction before its cost is accounted.
+        fanout.add(prof.get());
+    }
     if (cfg.timing) {
         timer = std::make_unique<sim::PipelineTimer>(cfg.timingParams);
         fanout.add(timer.get());
+        if (prof)
+            prof->attachTimer(timer.get());
     }
+
+    obs::Registry &reg = obs::defaultRegistry();
+    packetsCtr = &reg.counter("pb.packets");
+    instsCtr = &reg.counter("pb.insts");
+    sentCtr = &reg.counter("pb.sent");
+    droppedCtr = &reg.counter("pb.dropped");
+    simNsCtr = &reg.counter("phase.simulate_ns");
+    mipsGauge = &reg.gauge("pb.sim_mips");
+    instHist = &reg.histogram("pb.insts_per_packet");
+    uniqueHist = &reg.histogram("pb.unique_insts_per_packet");
+    if (cfg.timing)
+        cycleHist = &reg.histogram("pb.cycles_per_packet");
+    reg.gauge("pb.static_blocks")
+        .set(static_cast<double>(blockMap->numBlocks()));
+    reg.gauge("pb.program_bytes")
+        .set(static_cast<double>(cpu.program().sizeBytes()));
+}
+
+void
+PacketBench::publishUarchMetrics()
+{
+    obs::Registry &reg = obs::defaultRegistry();
+    UarchSnapshot now;
+    now.icacheAccesses = uarch->icache().accesses();
+    now.icacheMisses = uarch->icache().misses();
+    now.dcacheAccesses = uarch->dcache().accesses();
+    now.dcacheMisses = uarch->dcache().misses();
+    now.branchLookups = uarch->predictor().lookups();
+    now.branchMispredicts = uarch->predictor().mispredicts();
+
+    // The models count cumulatively; publish deltas so the global
+    // counters stay correct with several PacketBench instances.
+    static obs::Counter &icacheHits =
+        reg.counter("uarch.icache.hits");
+    static obs::Counter &icacheMisses =
+        reg.counter("uarch.icache.misses");
+    static obs::Counter &dcacheHits =
+        reg.counter("uarch.dcache.hits");
+    static obs::Counter &dcacheMisses =
+        reg.counter("uarch.dcache.misses");
+    static obs::Counter &branchLookups =
+        reg.counter("uarch.branch.lookups");
+    static obs::Counter &branchMispredicts =
+        reg.counter("uarch.branch.mispredicts");
+
+    icacheHits.add((now.icacheAccesses - prevUarch.icacheAccesses) -
+                   (now.icacheMisses - prevUarch.icacheMisses));
+    icacheMisses.add(now.icacheMisses - prevUarch.icacheMisses);
+    dcacheHits.add((now.dcacheAccesses - prevUarch.dcacheAccesses) -
+                   (now.dcacheMisses - prevUarch.dcacheMisses));
+    dcacheMisses.add(now.dcacheMisses - prevUarch.dcacheMisses);
+    branchLookups.add(now.branchLookups - prevUarch.branchLookups);
+    branchMispredicts.add(now.branchMispredicts -
+                          prevUarch.branchMispredicts);
+    prevUarch = now;
+
+    reg.gauge("uarch.icache.miss_rate")
+        .set(uarch->icache().missRate());
+    reg.gauge("uarch.dcache.miss_rate")
+        .set(uarch->dcache().missRate());
+    reg.gauge("uarch.branch.mispredict_rate")
+        .set(uarch->predictor().mispredictRate());
 }
 
 PacketOutcome
@@ -59,16 +132,41 @@ PacketBench::processPacket(net::Packet &packet)
     rec->beginPacket();
     if (timer)
         timer->mark();
+    auto sim_start = std::chrono::steady_clock::now();
     sim::RunResult result = cpu.run(entry, cfg.instBudget);
+    uint64_t sim_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - sim_start)
+            .count());
     PacketOutcome outcome;
     outcome.stats = rec->endPacket();
     if (timer)
         outcome.cycles = timer->cyclesSinceMark();
+    if (prof)
+        prof->flush();
     cpu.setObserver(nullptr);
 
     outcome.verdict = result.stopCode;
     outcome.outInterface = result.stopArg;
     packetCount++;
+
+    // Publish this packet into the run-wide telemetry.
+    packetsCtr->add(1);
+    instsCtr->add(outcome.stats.instCount);
+    (outcome.verdict == isa::SysCode::Send ? sentCtr : droppedCtr)
+        ->add(1);
+    simNsCtr->add(sim_ns);
+    instHist->observe(outcome.stats.instCount);
+    uniqueHist->observe(outcome.stats.uniqueInstCount);
+    if (cycleHist)
+        cycleHist->observe(outcome.cycles);
+    myInsts += outcome.stats.instCount;
+    mySimNs += sim_ns;
+    if (mySimNs > 0)
+        mipsGauge->set(static_cast<double>(myInsts) * 1e3 /
+                       static_cast<double>(mySimNs));
+    if (uarch)
+        publishUarchMetrics();
 
     if (outcome.verdict == isa::SysCode::Send) {
         // Copy the (possibly rewritten) packet back out.
@@ -90,6 +188,16 @@ PacketBench::run(net::TraceSource &source, uint32_t max_packets,
         outcomes.push_back(processPacket(*packet));
         if (sink && outcomes.back().verdict == isa::SysCode::Send)
             sink->write(*packet);
+        if (cfg.heartbeatPackets &&
+            packetCount % cfg.heartbeatPackets == 0)
+            PB_LOG(Info,
+                   "%s: %llu packets, %llu insts, %.1f sim-MIPS",
+                   app.name().c_str(),
+                   static_cast<unsigned long long>(packetCount),
+                   static_cast<unsigned long long>(myInsts),
+                   mySimNs ? static_cast<double>(myInsts) * 1e3 /
+                                 static_cast<double>(mySimNs)
+                           : 0.0);
     }
     return outcomes;
 }

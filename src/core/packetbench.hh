@@ -23,6 +23,8 @@
 #include "core/app.hh"
 #include "net/scramble.hh"
 #include "net/trace.hh"
+#include "obs/metrics.hh"
+#include "obs/profiler.hh"
 #include "sim/accounting.hh"
 #include "sim/cpu.hh"
 #include "sim/timing.hh"
@@ -53,6 +55,15 @@ struct BenchConfig
     /** Attach the pipeline timing model (per-packet cycle counts). */
     bool timing = false;
     sim::TimingParams timingParams;
+
+    /** Attach the NPE32 hot-spot profiler (obs/profiler.hh). */
+    bool profile = false;
+
+    /**
+     * Emit a PB_LOG(Info) heartbeat every N processed packets in
+     * run(); 0 disables.  Silent unless PB_LOG_LEVEL allows Info.
+     */
+    uint32_t heartbeatPackets = 10'000;
 };
 
 /** Outcome of processing one packet. */
@@ -96,6 +107,7 @@ class PacketBench
     const sim::PacketRecorder &recorder() const { return *rec; }
     const sim::MicroArchModel *microArch() const { return uarch.get(); }
     const sim::PipelineTimer *timing() const { return timer.get(); }
+    const obs::HotSpotProfiler *profiler() const { return prof.get(); }
     sim::Memory &memory() { return mem; }
     const isa::Program &program() const { return cpu.program(); }
     uint64_t packetsProcessed() const { return packetCount; }
@@ -110,10 +122,37 @@ class PacketBench
     std::unique_ptr<sim::PacketRecorder> rec;
     std::unique_ptr<sim::MicroArchModel> uarch;
     std::unique_ptr<sim::PipelineTimer> timer;
+    std::unique_ptr<obs::HotSpotProfiler> prof;
     sim::FanoutObserver fanout;
     net::AddressScrambler scrambler;
     uint32_t entry = 0;
     uint64_t packetCount = 0;
+
+    /** @name Published telemetry (obs/metrics.hh). @{ */
+    void publishUarchMetrics();
+
+    obs::Counter *packetsCtr;
+    obs::Counter *instsCtr;
+    obs::Counter *sentCtr;
+    obs::Counter *droppedCtr;
+    obs::Counter *simNsCtr;
+    obs::Gauge *mipsGauge;
+    obs::Histogram *instHist;
+    obs::Histogram *uniqueHist;
+    obs::Histogram *cycleHist = nullptr;
+
+    /** This instance's share (the counters are process-global). */
+    uint64_t myInsts = 0;
+    uint64_t mySimNs = 0;
+
+    /** Last published uarch totals, for delta publishing. */
+    struct UarchSnapshot
+    {
+        uint64_t icacheAccesses = 0, icacheMisses = 0;
+        uint64_t dcacheAccesses = 0, dcacheMisses = 0;
+        uint64_t branchLookups = 0, branchMispredicts = 0;
+    } prevUarch;
+    /** @} */
 };
 
 } // namespace pb::core

@@ -11,6 +11,7 @@
 
 #include "common/byteorder.hh"
 #include "common/logging.hh"
+#include "obs/metrics.hh"
 
 namespace pb::net
 {
@@ -98,6 +99,7 @@ PcapReader::PcapReader(std::istream &input, std::string trace_name)
 std::optional<Packet>
 PcapReader::next()
 {
+    PB_SCOPED_TIMER("phase.trace_read_ns");
     uint8_t hdr[recordHeaderLen];
     if (!readExact(in, hdr, sizeof(hdr),
                    strprintf("record header #%llu",
@@ -128,6 +130,8 @@ PcapReader::next()
     }
     packet.l3Offset = (link == LinkType::Ethernet) ? 14 : 0;
     packetIndex++;
+    PB_COUNTER("trace.packets_read");
+    PB_COUNTER_ADD("trace.bytes_read", packet.bytes.size());
     return packet;
 }
 
@@ -160,6 +164,7 @@ PcapWriter::write(const Packet &packet)
     out.write(reinterpret_cast<const char *>(hdr), sizeof(hdr));
     out.write(reinterpret_cast<const char *>(packet.bytes.data()),
               static_cast<std::streamsize>(packet.bytes.size()));
+    PB_COUNTER("trace.packets_written");
     if (!out)
         fatal("pcap write failed (disk full or closed stream?)");
 }

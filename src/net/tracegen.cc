@@ -7,6 +7,7 @@
 
 #include "common/hash.hh"
 #include "net/ipv4.hh"
+#include "obs/metrics.hh"
 
 namespace pb::net
 {
@@ -150,6 +151,7 @@ SyntheticTrace::packetSize(const Flow &flow)
 std::optional<Packet>
 SyntheticTrace::next()
 {
+    PB_SCOPED_TIMER("phase.trace_read_ns");
     if (emitted >= total)
         return std::nullopt;
     emitted++;
@@ -212,6 +214,8 @@ SyntheticTrace::next()
         active[idx] = active.back();
         active.pop_back();
     }
+    PB_COUNTER("trace.packets_read");
+    PB_COUNTER_ADD("trace.bytes_read", packet.bytes.size());
     return packet;
 }
 

@@ -13,6 +13,7 @@
 #include "common/byteorder.hh"
 #include "net/ipv4.hh"
 #include "net/pcap.hh" // TraceFormatError
+#include "obs/metrics.hh"
 
 namespace pb::net
 {
@@ -24,6 +25,7 @@ TshReader::TshReader(std::istream &input, std::string trace_name)
 std::optional<Packet>
 TshReader::next()
 {
+    PB_SCOPED_TIMER("phase.trace_read_ns");
     uint8_t rec[tshRecordLen];
     in.read(reinterpret_cast<char *>(rec), sizeof(rec));
     std::streamsize got = in.gcount();
@@ -53,6 +55,8 @@ TshReader::next()
     }
     packet.wireLen = ip.totalLen();
     packetIndex++;
+    PB_COUNTER("trace.packets_read");
+    PB_COUNTER_ADD("trace.bytes_read", packet.bytes.size());
     return packet;
 }
 
@@ -76,6 +80,7 @@ TshWriter::write(const Packet &packet)
     size_t copy_len = std::min<size_t>(l3_avail, 36);
     std::memcpy(rec + 8, packet.l3(), copy_len);
     out.write(reinterpret_cast<const char *>(rec), sizeof(rec));
+    PB_COUNTER("trace.packets_written");
     if (!out)
         fatal("TSH write failed");
 }

@@ -1,0 +1,474 @@
+/**
+ * @file
+ * JSON parser and serializer implementation.
+ */
+
+#include "json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace pb::obs
+{
+
+bool
+JsonValue::asBool() const
+{
+    if (!isBool())
+        fatal("JSON value is not a bool");
+    return std::get<bool>(v);
+}
+
+double
+JsonValue::asNumber() const
+{
+    if (!isNumber())
+        fatal("JSON value is not a number");
+    return std::get<double>(v);
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    if (!isString())
+        fatal("JSON value is not a string");
+    return std::get<std::string>(v);
+}
+
+const JsonValue::Array &
+JsonValue::asArray() const
+{
+    if (!isArray())
+        fatal("JSON value is not an array");
+    return std::get<Array>(v);
+}
+
+const JsonValue::Object &
+JsonValue::asObject() const
+{
+    if (!isObject())
+        fatal("JSON value is not an object");
+    return std::get<Object>(v);
+}
+
+const JsonValue *
+JsonValue::find(std::string_view key) const
+{
+    if (!isObject())
+        return nullptr;
+    for (const Member &m : std::get<Object>(v)) {
+        if (m.first == key)
+            return &m.second;
+    }
+    return nullptr;
+}
+
+const JsonValue &
+JsonValue::at(std::string_view key) const
+{
+    const JsonValue *member = find(key);
+    if (!member)
+        fatal("JSON object has no member '%.*s'",
+              static_cast<int>(key.size()), key.data());
+    return *member;
+}
+
+// ---------------------------------------------------------------- parse
+
+namespace
+{
+
+/** Recursive-descent JSON parser over a string_view. */
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text(text) {}
+
+    JsonValue
+    document()
+    {
+        JsonValue value = parseValue();
+        skipSpace();
+        if (pos != text.size())
+            fail("trailing characters after JSON document");
+        return value;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const char *what)
+    {
+        fatal("JSON parse error at offset %zu: %s", pos, what);
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r'))
+            pos++;
+    }
+
+    char
+    peek()
+    {
+        if (pos >= text.size())
+            fail("unexpected end of input");
+        return text[pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail("unexpected character");
+        pos++;
+    }
+
+    bool
+    consumeLiteral(std::string_view lit)
+    {
+        if (text.substr(pos, lit.size()) != lit)
+            return false;
+        pos += lit.size();
+        return true;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        skipSpace();
+        switch (peek()) {
+          case '{':
+            return parseObject();
+          case '[':
+            return parseArray();
+          case '"':
+            return JsonValue(parseString());
+          case 't':
+            if (!consumeLiteral("true"))
+                fail("bad literal");
+            return JsonValue(true);
+          case 'f':
+            if (!consumeLiteral("false"))
+                fail("bad literal");
+            return JsonValue(false);
+          case 'n':
+            if (!consumeLiteral("null"))
+                fail("bad literal");
+            return JsonValue(nullptr);
+          default:
+            return parseNumber();
+        }
+    }
+
+    JsonValue
+    parseObject()
+    {
+        expect('{');
+        JsonValue::Object obj;
+        skipSpace();
+        if (peek() == '}') {
+            pos++;
+            return JsonValue(std::move(obj));
+        }
+        while (true) {
+            skipSpace();
+            std::string key = parseString();
+            skipSpace();
+            expect(':');
+            obj.emplace_back(std::move(key), parseValue());
+            skipSpace();
+            if (peek() == ',') {
+                pos++;
+                continue;
+            }
+            expect('}');
+            return JsonValue(std::move(obj));
+        }
+    }
+
+    JsonValue
+    parseArray()
+    {
+        expect('[');
+        JsonValue::Array arr;
+        skipSpace();
+        if (peek() == ']') {
+            pos++;
+            return JsonValue(std::move(arr));
+        }
+        while (true) {
+            arr.push_back(parseValue());
+            skipSpace();
+            if (peek() == ',') {
+                pos++;
+                continue;
+            }
+            expect(']');
+            return JsonValue(std::move(arr));
+        }
+    }
+
+    void
+    appendUtf8(std::string &out, uint32_t cp)
+    {
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xc0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        } else if (cp < 0x10000) {
+            out += static_cast<char>(0xe0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        } else {
+            out += static_cast<char>(0xf0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        }
+    }
+
+    uint32_t
+    parseHex4()
+    {
+        uint32_t value = 0;
+        for (int i = 0; i < 4; i++) {
+            char c = peek();
+            pos++;
+            value <<= 4;
+            if (c >= '0' && c <= '9')
+                value |= static_cast<uint32_t>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                value |= static_cast<uint32_t>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                value |= static_cast<uint32_t>(c - 'A' + 10);
+            else
+                fail("bad \\u escape");
+        }
+        return value;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            char c = peek();
+            pos++;
+            if (c == '"')
+                return out;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("unescaped control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            char esc = peek();
+            pos++;
+            switch (esc) {
+              case '"':
+              case '\\':
+              case '/':
+                out += esc;
+                break;
+              case 'b':
+                out += '\b';
+                break;
+              case 'f':
+                out += '\f';
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'u': {
+                uint32_t cp = parseHex4();
+                if (cp >= 0xd800 && cp <= 0xdbff) {
+                    // UTF-16 surrogate pair.
+                    if (!consumeLiteral("\\u"))
+                        fail("lone high surrogate");
+                    uint32_t lo = parseHex4();
+                    if (lo < 0xdc00 || lo > 0xdfff)
+                        fail("bad low surrogate");
+                    cp = 0x10000 + ((cp - 0xd800) << 10) +
+                         (lo - 0xdc00);
+                }
+                appendUtf8(out, cp);
+                break;
+              }
+              default:
+                fail("bad escape character");
+            }
+        }
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        size_t start = pos;
+        if (peek() == '-')
+            pos++;
+        while (pos < text.size() &&
+               (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+                text[pos] == '.' || text[pos] == 'e' ||
+                text[pos] == 'E' || text[pos] == '+' ||
+                text[pos] == '-'))
+            pos++;
+        std::string token(text.substr(start, pos - start));
+        char *end = nullptr;
+        double value = std::strtod(token.c_str(), &end);
+        if (token.empty() || end != token.c_str() + token.size())
+            fail("bad number");
+        return JsonValue(value);
+    }
+
+    std::string_view text;
+    size_t pos = 0;
+};
+
+} // namespace
+
+JsonValue
+JsonValue::parse(std::string_view text)
+{
+    return Parser(text).document();
+}
+
+// ----------------------------------------------------------------- dump
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strprintf("\\u%04x",
+                                 static_cast<unsigned char>(c));
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+namespace
+{
+
+std::string
+numberToString(double d)
+{
+    if (!std::isfinite(d))
+        return "null"; // JSON has no inf/nan
+    // Integers (the common case: counters) print without a decimal
+    // point; %.17g round-trips every other double.
+    if (d == std::floor(d) && std::fabs(d) < 1e15)
+        return strprintf("%.0f", d);
+    return strprintf("%.17g", d);
+}
+
+void
+dumpValue(const JsonValue &value, std::string &out, unsigned indent,
+          unsigned depth)
+{
+    auto newline = [&](unsigned d) {
+        if (indent) {
+            out += '\n';
+            out.append(static_cast<size_t>(indent) * d, ' ');
+        }
+    };
+
+    if (value.isNull()) {
+        out += "null";
+    } else if (value.isBool()) {
+        out += value.asBool() ? "true" : "false";
+    } else if (value.isNumber()) {
+        out += numberToString(value.asNumber());
+    } else if (value.isString()) {
+        out += '"';
+        out += jsonEscape(value.asString());
+        out += '"';
+    } else if (value.isArray()) {
+        const auto &arr = value.asArray();
+        if (arr.empty()) {
+            out += "[]";
+            return;
+        }
+        out += '[';
+        for (size_t i = 0; i < arr.size(); i++) {
+            if (i)
+                out += ',';
+            newline(depth + 1);
+            dumpValue(arr[i], out, indent, depth + 1);
+        }
+        newline(depth);
+        out += ']';
+    } else {
+        const auto &obj = value.asObject();
+        if (obj.empty()) {
+            out += "{}";
+            return;
+        }
+        out += '{';
+        for (size_t i = 0; i < obj.size(); i++) {
+            if (i)
+                out += ',';
+            newline(depth + 1);
+            out += '"';
+            out += jsonEscape(obj[i].first);
+            out += "\":";
+            if (indent)
+                out += ' ';
+            dumpValue(obj[i].second, out, indent, depth + 1);
+        }
+        newline(depth);
+        out += '}';
+    }
+}
+
+} // namespace
+
+std::string
+JsonValue::dump(unsigned indent) const
+{
+    std::string out;
+    dumpValue(*this, out, indent, 0);
+    return out;
+}
+
+} // namespace pb::obs

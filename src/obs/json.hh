@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Minimal JSON value type: parse, build, and serialize.
+ *
+ * The run report (obs/report.hh) is JSON so that downstream tooling
+ * (trajectory tracking, plotting, CI diffing) can consume bench
+ * artifacts without custom parsers.  This module is dependency-free
+ * and deliberately small: a variant value type, a recursive-descent
+ * parser, and a serializer.  Objects preserve insertion order so
+ * serialization is deterministic.
+ *
+ * Numbers are stored as double; integer counters up to 2^53 survive
+ * a round trip exactly, which covers every metric this repository
+ * produces.  (The report *writer* streams uint64 counters directly
+ * and is exact for the full range.)
+ */
+
+#ifndef PB_OBS_JSON_HH
+#define PB_OBS_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace pb::obs
+{
+
+/** One JSON value (null, bool, number, string, array, or object). */
+class JsonValue
+{
+  public:
+    using Array = std::vector<JsonValue>;
+    using Member = std::pair<std::string, JsonValue>;
+    using Object = std::vector<Member>;
+
+    JsonValue() : v(nullptr) {}
+    JsonValue(std::nullptr_t) : v(nullptr) {}
+    JsonValue(bool b) : v(b) {}
+    JsonValue(double d) : v(d) {}
+    JsonValue(int i) : v(static_cast<double>(i)) {}
+    JsonValue(uint64_t u) : v(static_cast<double>(u)) {}
+    JsonValue(int64_t i) : v(static_cast<double>(i)) {}
+    JsonValue(const char *s) : v(std::string(s)) {}
+    JsonValue(std::string s) : v(std::move(s)) {}
+    JsonValue(Array a) : v(std::move(a)) {}
+    JsonValue(Object o) : v(std::move(o)) {}
+
+    bool isNull() const { return std::holds_alternative<std::nullptr_t>(v); }
+    bool isBool() const { return std::holds_alternative<bool>(v); }
+    bool isNumber() const { return std::holds_alternative<double>(v); }
+    bool isString() const { return std::holds_alternative<std::string>(v); }
+    bool isArray() const { return std::holds_alternative<Array>(v); }
+    bool isObject() const { return std::holds_alternative<Object>(v); }
+
+    /** @name Typed accessors; fatal() on a kind mismatch. @{ */
+    bool asBool() const;
+    double asNumber() const;
+    const std::string &asString() const;
+    const Array &asArray() const;
+    const Object &asObject() const;
+    /** @} */
+
+    /** Object member by key, or nullptr when absent / not an object. */
+    const JsonValue *find(std::string_view key) const;
+
+    /**
+     * Member by key; fatal() when absent.  Chains nicely when
+     * asserting on report structure: j.at("meta").at("tool").
+     */
+    const JsonValue &at(std::string_view key) const;
+
+    /**
+     * Parse one JSON document (with optional surrounding
+     * whitespace); trailing garbage and malformed input fatal().
+     */
+    static JsonValue parse(std::string_view text);
+
+    /**
+     * Serialize.  @p indent 0 emits one compact line; otherwise
+     * nested values are pretty-printed with that many spaces per
+     * level.
+     */
+    std::string dump(unsigned indent = 0) const;
+
+  private:
+    std::variant<std::nullptr_t, bool, double, std::string, Array,
+                 Object>
+        v;
+};
+
+/** Escape @p s for inclusion in a JSON string literal (no quotes). */
+std::string jsonEscape(std::string_view s);
+
+} // namespace pb::obs
+
+#endif // PB_OBS_JSON_HH

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Metrics registry implementation.
+ */
+
+#include "metrics.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace pb::obs
+{
+
+const char *
+metricKindName(MetricKind kind)
+{
+    switch (kind) {
+      case MetricKind::Counter:
+        return "counter";
+      case MetricKind::Gauge:
+        return "gauge";
+      case MetricKind::Histogram:
+        return "histogram";
+    }
+    return "?";
+}
+
+namespace
+{
+
+size_t
+bucketOf(uint64_t sample)
+{
+    return static_cast<size_t>(std::bit_width(sample));
+}
+
+} // namespace
+
+void
+Histogram::observe(uint64_t sample)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    if (count == 0 || sample < min)
+        min = sample;
+    if (sample > max)
+        max = sample;
+    count++;
+    sum += sample;
+    buckets[bucketOf(sample)]++;
+}
+
+uint64_t
+Histogram::bucketUpperBound(size_t index)
+{
+    if (index == 0)
+        return 0;
+    if (index >= 64)
+        return UINT64_MAX;
+    return (uint64_t{1} << index) - 1;
+}
+
+uint64_t
+Histogram::Snapshot::quantile(double q) const
+{
+    if (count == 0)
+        return 0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    // Rank of the q-quantile sample, 1-based.
+    uint64_t rank = static_cast<uint64_t>(q * (count - 1)) + 1;
+    uint64_t seen = 0;
+    for (size_t i = 0; i < buckets.size(); i++) {
+        seen += buckets[i];
+        if (seen >= rank)
+            return bucketUpperBound(i);
+    }
+    return max;
+}
+
+Histogram::Snapshot
+Histogram::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    Snapshot snap;
+    snap.count = count;
+    snap.sum = sum;
+    snap.min = min;
+    snap.max = max;
+    size_t last = 0;
+    for (size_t i = 0; i < numBuckets; i++) {
+        if (buckets[i])
+            last = i + 1;
+    }
+    snap.buckets.assign(buckets, buckets + last);
+    return snap;
+}
+
+Registry::Slot &
+Registry::slot(const std::string &name, MetricKind kind)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = slots.find(name);
+    if (it == slots.end()) {
+        Slot s;
+        s.kind = kind;
+        switch (kind) {
+          case MetricKind::Counter:
+            s.c = std::make_unique<Counter>();
+            break;
+          case MetricKind::Gauge:
+            s.g = std::make_unique<Gauge>();
+            break;
+          case MetricKind::Histogram:
+            s.h = std::make_unique<Histogram>();
+            break;
+        }
+        it = slots.emplace(name, std::move(s)).first;
+    } else if (it->second.kind != kind) {
+        panic("metric '%s' is a %s, requested as %s", name.c_str(),
+              metricKindName(it->second.kind), metricKindName(kind));
+    }
+    return it->second;
+}
+
+Counter &
+Registry::counter(const std::string &name)
+{
+    return *slot(name, MetricKind::Counter).c;
+}
+
+Gauge &
+Registry::gauge(const std::string &name)
+{
+    return *slot(name, MetricKind::Gauge).g;
+}
+
+Histogram &
+Registry::histogram(const std::string &name)
+{
+    return *slot(name, MetricKind::Histogram).h;
+}
+
+std::vector<Registry::Entry>
+Registry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    std::vector<Entry> entries;
+    entries.reserve(slots.size());
+    // std::map iterates in name order, so the snapshot is already
+    // deterministic.
+    for (const auto &[name, s] : slots) {
+        Entry e;
+        e.name = name;
+        e.kind = s.kind;
+        switch (s.kind) {
+          case MetricKind::Counter:
+            e.counter = s.c->value();
+            break;
+          case MetricKind::Gauge:
+            e.gauge = s.g->value();
+            break;
+          case MetricKind::Histogram:
+            e.hist = s.h->snapshot();
+            break;
+        }
+        entries.push_back(std::move(e));
+    }
+    return entries;
+}
+
+size_t
+Registry::size() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return slots.size();
+}
+
+void
+Registry::reset()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    for (auto &[name, s] : slots) {
+        switch (s.kind) {
+          case MetricKind::Counter:
+            s.c->value_.store(0, std::memory_order_relaxed);
+            break;
+          case MetricKind::Gauge:
+            s.g->value_.store(0.0, std::memory_order_relaxed);
+            break;
+          case MetricKind::Histogram: {
+            std::lock_guard<std::mutex> hlock(s.h->mu);
+            s.h->count = s.h->sum = s.h->min = s.h->max = 0;
+            for (auto &bucket : s.h->buckets)
+                bucket = 0;
+            break;
+          }
+        }
+    }
+}
+
+Registry &
+defaultRegistry()
+{
+    static Registry registry;
+    return registry;
+}
+
+} // namespace pb::obs

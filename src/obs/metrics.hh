@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Run-wide metrics registry.
+ *
+ * The paper's contribution is measurement, and this module gives the
+ * reproduction the same discipline about *itself*: every layer
+ * (framework, trace I/O, microarch models, analyses) publishes named
+ * counters, gauges, and log-scale histograms into a process-global
+ * registry.  A snapshot of the registry is deterministic (sorted by
+ * name) and serializes into the structured run report
+ * (obs/report.hh), so every bench binary emits comparable artifacts.
+ *
+ * Conventions:
+ *  - names are dotted paths ("pb.packets", "uarch.icache.misses"),
+ *  - wall-clock phase timers are counters in nanoseconds with a
+ *    "_ns" suffix ("phase.simulate_ns"),
+ *  - a metric's kind is fixed at first registration; re-registering
+ *    the same name with a different kind is a panic.
+ *
+ * All metric updates are thread-safe and cheap (relaxed atomics);
+ * registration takes a lock, so hot paths should resolve a metric
+ * once and keep the reference (see PB_COUNTER / PB_SCOPED_TIMER for
+ * the cached-static idiom).
+ */
+
+#ifndef PB_OBS_METRICS_HH
+#define PB_OBS_METRICS_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pb::obs
+{
+
+/** The metric kinds a registry can hold. */
+enum class MetricKind
+{
+    Counter,
+    Gauge,
+    Histogram,
+};
+
+/** Kind name for reports ("counter", "gauge", "histogram"). */
+const char *metricKindName(MetricKind kind);
+
+/** Monotonically increasing event count. */
+class Counter
+{
+  public:
+    void
+    add(uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    uint64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    friend class Registry;
+    std::atomic<uint64_t> value_{0};
+};
+
+/** Last-written instantaneous value (rates, sizes, ratios). */
+class Gauge
+{
+  public:
+    void
+    set(double v)
+    {
+        value_.store(v, std::memory_order_relaxed);
+    }
+
+    double
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    friend class Registry;
+    std::atomic<double> value_{0.0};
+};
+
+/**
+ * Log2-bucketed histogram of non-negative integer samples.
+ *
+ * Bucket 0 holds zeros; bucket i (i >= 1) holds samples whose bit
+ * width is i, i.e. the range [2^(i-1), 2^i - 1].  65 buckets cover
+ * the full uint64 domain, so observe() never saturates or clips.
+ */
+class Histogram
+{
+  public:
+    static constexpr size_t numBuckets = 65;
+
+    /** Record one sample. */
+    void observe(uint64_t sample);
+
+    /** Point-in-time copy of the distribution. */
+    struct Snapshot
+    {
+        uint64_t count = 0;
+        uint64_t sum = 0;
+        uint64_t min = 0; ///< 0 when count == 0
+        uint64_t max = 0;
+        /** Per-bucket counts, trimmed after the last non-zero. */
+        std::vector<uint64_t> buckets;
+
+        double
+        mean() const
+        {
+            return count ? static_cast<double>(sum) / count : 0.0;
+        }
+
+        /**
+         * Upper bound of the bucket holding the q-quantile sample
+         * (q in [0, 1]); 0 when the histogram is empty.
+         */
+        uint64_t quantile(double q) const;
+    };
+
+    Snapshot snapshot() const;
+
+    /** Inclusive upper bound of bucket @p index. */
+    static uint64_t bucketUpperBound(size_t index);
+
+  private:
+    friend class Registry;
+    mutable std::mutex mu;
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t min = 0;
+    uint64_t max = 0;
+    uint64_t buckets[numBuckets] = {};
+};
+
+/**
+ * Named metrics, one namespace per registry.
+ *
+ * Lookup creates the metric on first use and returns a reference
+ * whose address is stable for the registry's lifetime.  Values can
+ * be zeroed (reset()) but metrics are never removed, so cached
+ * references never dangle.
+ */
+class Registry
+{
+  public:
+    /** Find-or-create; panics if @p name exists with another kind. */
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Histogram &histogram(const std::string &name);
+
+    /** One metric in a snapshot; only the matching field is valid. */
+    struct Entry
+    {
+        std::string name;
+        MetricKind kind;
+        uint64_t counter = 0;
+        double gauge = 0.0;
+        Histogram::Snapshot hist;
+    };
+
+    /** Deterministic (name-sorted) copy of all metrics. */
+    std::vector<Entry> snapshot() const;
+
+    /** Number of registered metrics. */
+    size_t size() const;
+
+    /** Zero every value, keeping all registrations (test hook). */
+    void reset();
+
+  private:
+    struct Slot
+    {
+        MetricKind kind;
+        std::unique_ptr<Counter> c;
+        std::unique_ptr<Gauge> g;
+        std::unique_ptr<Histogram> h;
+    };
+
+    Slot &slot(const std::string &name, MetricKind kind);
+
+    mutable std::mutex mu;
+    std::map<std::string, Slot> slots;
+};
+
+/** The process-global registry every layer publishes into. */
+Registry &defaultRegistry();
+
+/**
+ * Adds elapsed wall-clock nanoseconds to a counter when destroyed.
+ * Used for phase accounting ("phase.trace_read_ns", ...).
+ */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(Counter &ns_counter)
+        : target(ns_counter), start(std::chrono::steady_clock::now())
+    {
+    }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+    ~ScopedTimer() { target.add(elapsedNs()); }
+
+    /** Nanoseconds since construction. */
+    uint64_t
+    elapsedNs() const
+    {
+        auto dt = std::chrono::steady_clock::now() - start;
+        return static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(dt)
+                .count());
+    }
+
+  private:
+    Counter &target;
+    std::chrono::steady_clock::time_point start;
+};
+
+} // namespace pb::obs
+
+#define PB_OBS_CAT2(a, b) a##b
+#define PB_OBS_CAT(a, b) PB_OBS_CAT2(a, b)
+
+/**
+ * Bump a default-registry counter by @p delta.  The lookup happens
+ * once per call site (cached static reference), so this is safe on
+ * per-packet paths.
+ */
+#define PB_COUNTER_ADD(name, delta)                                    \
+    do {                                                               \
+        static pb::obs::Counter &pb_counter_ref_ =                     \
+            pb::obs::defaultRegistry().counter(name);                  \
+        pb_counter_ref_.add(delta);                                    \
+    } while (0)
+
+/** Bump a default-registry counter by one. */
+#define PB_COUNTER(name) PB_COUNTER_ADD(name, 1)
+
+/**
+ * Time the rest of the enclosing scope into a nanosecond counter in
+ * the default registry.
+ */
+#define PB_SCOPED_TIMER(name)                                          \
+    static pb::obs::Counter &PB_OBS_CAT(pb_timer_ref_, __LINE__) =     \
+        pb::obs::defaultRegistry().counter(name);                      \
+    pb::obs::ScopedTimer PB_OBS_CAT(pb_timer_, __LINE__)(              \
+        PB_OBS_CAT(pb_timer_ref_, __LINE__))
+
+#endif // PB_OBS_METRICS_HH

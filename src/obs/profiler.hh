@@ -1,0 +1,125 @@
+/**
+ * @file
+ * NPE32 hot-spot profiler.
+ *
+ * An ExecObserver that accumulates a flat per-PC execution profile
+ * over any number of packets and ranks basic blocks by the work they
+ * absorb — the simulated-code analogue of gprof's flat profile.  The
+ * paper's block-level results (Figs. 7-8) show that a handful of
+ * blocks dominate every application; this profiler turns that
+ * observation into an operational tool: after any run, render() names
+ * the hot inner loops (e.g. the radix-walk vs. trie-step bodies) with
+ * exact instruction counts and annotated disassembly.
+ *
+ * When a PipelineTimer observes the same execution stream *after*
+ * the profiler in the fanout, attachTimer() additionally attributes
+ * modeled cycles to each PC: the timer cycles that accumulate
+ * between two consecutive profiler observations are exactly the
+ * previous instruction's base cost plus its stall penalties, and are
+ * charged to it (call flush() at the end of a run to attribute the
+ * final instruction).  Without a timer the cycle columns equal the
+ * instruction counts (CPI 1).
+ */
+
+#ifndef PB_OBS_PROFILER_HH
+#define PB_OBS_PROFILER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/bblock.hh"
+#include "sim/cpu.hh"
+#include "sim/timing.hh"
+
+namespace pb::obs
+{
+
+/** Per-PC / per-block execution profile of one simulated program. */
+class HotSpotProfiler : public sim::ExecObserver
+{
+  public:
+    /**
+     * Profile executions of @p prog.  Both references must outlive
+     * the profiler.
+     */
+    HotSpotProfiler(const isa::Program &prog,
+                    const sim::BlockMap &blocks);
+
+    /**
+     * Attribute modeled cycles from @p timer (may be nullptr to
+     * detach).  The timer must observe the same execution stream and
+     * must sit *after* this profiler in the fanout order.
+     */
+    void attachTimer(const sim::PipelineTimer *timer);
+
+    /**
+     * Attribute any cycles still pending for the last observed
+     * instruction (end-of-run bookkeeping; harmless without a
+     * timer).
+     */
+    void flush();
+
+    void onInst(uint32_t addr, const isa::Inst &inst) override;
+
+    /** Executions of the instruction at @p addr. */
+    uint64_t instCount(uint32_t addr) const;
+
+    /** Modeled cycles attributed to the instruction at @p addr. */
+    uint64_t cycleCount(uint32_t addr) const;
+
+    /** Total instructions observed. */
+    uint64_t totalInsts() const { return total; }
+
+    /** Total cycles attributed (== totalInsts() without a timer). */
+    uint64_t totalCycles() const;
+
+    /** One basic block's share of the run. */
+    struct BlockProfile
+    {
+        uint32_t blockId;
+        uint32_t startAddr;
+        uint32_t numInsts; ///< static size of the block
+        uint64_t insts;    ///< dynamic instructions executed in it
+        uint64_t cycles;   ///< modeled cycles attributed to it
+        uint64_t entries;  ///< times control entered at its head
+    };
+
+    /**
+     * Executed blocks ranked hottest-first (by cycles, then
+     * instructions, then block id for determinism).
+     */
+    std::vector<BlockProfile> rankedBlocks() const;
+
+    /**
+     * gprof-style report: summary line, ranked block table, and
+     * per-instruction annotated disassembly of the @p top_blocks
+     * hottest blocks.
+     */
+    std::string render(size_t top_blocks = 10) const;
+
+    /** Forget all accumulated samples. */
+    void reset();
+
+  private:
+    size_t indexOf(uint32_t addr) const;
+
+    const isa::Program &prog;
+    const sim::BlockMap &blockMap;
+    const sim::PipelineTimer *timer = nullptr;
+
+    std::vector<uint64_t> perPcInsts;  ///< indexed by word offset
+    std::vector<uint64_t> perPcCycles; ///< empty until a timer ticks
+    std::vector<uint64_t> blockEntries;
+    uint64_t total = 0;
+
+    // Cycle attribution state: charge the delta observed at inst N+1
+    // to inst N.
+    uint64_t lastCycles = 0;
+    size_t lastIndex = 0;
+    bool havePrev = false;
+};
+
+} // namespace pb::obs
+
+#endif // PB_OBS_PROFILER_HH

@@ -41,4 +41,43 @@ TEST(Logging, ErrorHierarchy)
     EXPECT_THROW(panic("x"), Error);
 }
 
+TEST(Logging, ParseLogLevelNamesAndDigits)
+{
+    EXPECT_EQ(parseLogLevel("error", LogLevel::Warn), LogLevel::Error);
+    EXPECT_EQ(parseLogLevel("warn", LogLevel::Error), LogLevel::Warn);
+    EXPECT_EQ(parseLogLevel("warning", LogLevel::Error),
+              LogLevel::Warn);
+    EXPECT_EQ(parseLogLevel("INFO", LogLevel::Warn), LogLevel::Info);
+    EXPECT_EQ(parseLogLevel("Debug", LogLevel::Warn), LogLevel::Debug);
+    EXPECT_EQ(parseLogLevel("trace", LogLevel::Warn), LogLevel::Trace);
+    EXPECT_EQ(parseLogLevel("0", LogLevel::Warn), LogLevel::Error);
+    EXPECT_EQ(parseLogLevel("4", LogLevel::Warn), LogLevel::Trace);
+    // Junk falls back.
+    EXPECT_EQ(parseLogLevel("loud", LogLevel::Info), LogLevel::Info);
+    EXPECT_EQ(parseLogLevel("", LogLevel::Debug), LogLevel::Debug);
+    EXPECT_EQ(parseLogLevel("9", LogLevel::Warn), LogLevel::Warn);
+}
+
+TEST(Logging, SetLogLevelControlsEnablement)
+{
+    setLogLevel(LogLevel::Warn);
+    EXPECT_TRUE(logEnabled(LogLevel::Error));
+    EXPECT_TRUE(logEnabled(LogLevel::Warn));
+    EXPECT_FALSE(logEnabled(LogLevel::Info));
+    EXPECT_FALSE(logEnabled(LogLevel::Trace));
+
+    setLogLevel(LogLevel::Trace);
+    EXPECT_TRUE(logEnabled(LogLevel::Trace));
+    EXPECT_EQ(logLevel(), LogLevel::Trace);
+
+    // PB_LOG compiles and filters; a disabled level's arguments are
+    // not evaluated.
+    setLogLevel(LogLevel::Error);
+    int evaluations = 0;
+    auto touch = [&evaluations] { return ++evaluations; };
+    PB_LOG(Debug, "never shown %d", touch());
+    EXPECT_EQ(evaluations, 0);
+    setLogLevel(LogLevel::Warn);
+}
+
 } // namespace

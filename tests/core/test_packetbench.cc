@@ -216,6 +216,34 @@ TEST(PacketBench, NoTimingByDefault)
     EXPECT_EQ(outcome.cycles, 0u);
 }
 
+TEST(PacketBench, ProfilerAttachable)
+{
+    CountingApp app;
+    BenchConfig cfg;
+    cfg.profile = true;
+    cfg.timing = true;
+    PacketBench bench(app, cfg);
+    Packet packet = simplePacket();
+    for (int i = 0; i < 3; i++)
+        bench.processPacket(packet);
+    ASSERT_NE(bench.profiler(), nullptr);
+    // The handler runs 7 instructions per packet (see above).
+    EXPECT_EQ(bench.profiler()->totalInsts(), 21u);
+    // With the timer attached, every modeled cycle is attributed.
+    EXPECT_GE(bench.profiler()->totalCycles(),
+              bench.profiler()->totalInsts());
+    EXPECT_FALSE(bench.profiler()->rankedBlocks().empty());
+    EXPECT_NE(bench.profiler()->render().find("hot-spot profile"),
+              std::string::npos);
+}
+
+TEST(PacketBench, NoProfilerByDefault)
+{
+    CountingApp app;
+    PacketBench bench(app);
+    EXPECT_EQ(bench.profiler(), nullptr);
+}
+
 TEST(PacketBench, BlockMapAvailable)
 {
     CountingApp app;

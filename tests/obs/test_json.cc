@@ -1,0 +1,109 @@
+/**
+ * @file
+ * JSON value tests: parsing, serialization, escapes, and errors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "obs/json.hh"
+#include "common/logging.hh"
+
+namespace
+{
+
+using namespace pb;
+using namespace pb::obs;
+
+TEST(Json, ParsesScalars)
+{
+    EXPECT_TRUE(JsonValue::parse("null").isNull());
+    EXPECT_EQ(JsonValue::parse("true").asBool(), true);
+    EXPECT_EQ(JsonValue::parse("false").asBool(), false);
+    EXPECT_EQ(JsonValue::parse("42").asNumber(), 42.0);
+    EXPECT_EQ(JsonValue::parse("-1.5e2").asNumber(), -150.0);
+    EXPECT_EQ(JsonValue::parse("\"hi\"").asString(), "hi");
+}
+
+TEST(Json, ParsesNested)
+{
+    JsonValue v = JsonValue::parse(R"(
+        {
+            "name": "pb",
+            "counts": [1, 2, 3],
+            "meta": {"ok": true, "none": null}
+        }
+    )");
+    ASSERT_TRUE(v.isObject());
+    EXPECT_EQ(v.at("name").asString(), "pb");
+    const auto &counts = v.at("counts").asArray();
+    ASSERT_EQ(counts.size(), 3u);
+    EXPECT_EQ(counts[2].asNumber(), 3.0);
+    EXPECT_EQ(v.at("meta").at("ok").asBool(), true);
+    EXPECT_TRUE(v.at("meta").at("none").isNull());
+    EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(Json, EscapesRoundTrip)
+{
+    JsonValue v = JsonValue::parse(
+        R"("tab\t quote\" back\\ nl\n unicodeé")");
+    EXPECT_EQ(v.asString(), "tab\t quote\" back\\ nl\n unicode\xc3\xa9");
+    // Dump and reparse preserve the value.
+    JsonValue again = JsonValue::parse(v.dump());
+    EXPECT_EQ(again.asString(), v.asString());
+}
+
+TEST(Json, SurrogatePairsDecodeToUtf8)
+{
+    // U+1F600 as a surrogate pair.
+    JsonValue v = JsonValue::parse(R"("😀")");
+    EXPECT_EQ(v.asString(), "\xf0\x9f\x98\x80");
+}
+
+TEST(Json, DumpIsDeterministicAndOrdered)
+{
+    JsonValue::Object obj;
+    obj.emplace_back("z", JsonValue(1));
+    obj.emplace_back("a", JsonValue("x"));
+    JsonValue v{std::move(obj)};
+    // Insertion order is preserved (not sorted).
+    EXPECT_EQ(v.dump(), R"({"z":1,"a":"x"})");
+    EXPECT_EQ(JsonValue::parse(v.dump(2)).dump(), v.dump());
+}
+
+TEST(Json, IntegersSurviveRoundTrip)
+{
+    // 2^53 - 1, the largest integer double represents exactly.
+    JsonValue v = JsonValue::parse("9007199254740991");
+    EXPECT_EQ(static_cast<uint64_t>(v.asNumber()),
+              9007199254740991ull);
+    EXPECT_EQ(v.dump(), "9007199254740991");
+}
+
+TEST(Json, MalformedInputIsFatal)
+{
+    EXPECT_THROW(JsonValue::parse(""), FatalError);
+    EXPECT_THROW(JsonValue::parse("{"), FatalError);
+    EXPECT_THROW(JsonValue::parse("[1,]"), FatalError);
+    EXPECT_THROW(JsonValue::parse("\"unterminated"), FatalError);
+    EXPECT_THROW(JsonValue::parse("{} trailing"), FatalError);
+    EXPECT_THROW(JsonValue::parse("nul"), FatalError);
+}
+
+TEST(Json, TypeMismatchIsFatal)
+{
+    JsonValue v = JsonValue::parse("[1]");
+    EXPECT_THROW(v.asObject(), FatalError);
+    EXPECT_THROW(v.asString(), FatalError);
+    EXPECT_THROW(v.at("key"), FatalError);
+}
+
+TEST(Json, JsonEscapeControlChars)
+{
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape(std::string_view("a\x01z", 3)), "a\\u0001z");
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+}
+
+} // namespace

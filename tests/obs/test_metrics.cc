@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Metrics registry tests: counter/gauge/histogram semantics,
+ * deterministic snapshots, kind safety, timers, and the macros.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/logging.hh"
+#include "obs/metrics.hh"
+
+namespace
+{
+
+using namespace pb;
+using namespace pb::obs;
+
+TEST(Metrics, CounterAddsAndReads)
+{
+    Registry reg;
+    Counter &c = reg.counter("test.events");
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+    // Find-or-create returns the same object.
+    EXPECT_EQ(&reg.counter("test.events"), &c);
+}
+
+TEST(Metrics, GaugeHoldsLastValue)
+{
+    Registry reg;
+    Gauge &g = reg.gauge("test.rate");
+    EXPECT_EQ(g.value(), 0.0);
+    g.set(3.5);
+    g.set(-1.25);
+    EXPECT_EQ(g.value(), -1.25);
+}
+
+TEST(Metrics, HistogramBucketsByBitWidth)
+{
+    Registry reg;
+    Histogram &h = reg.histogram("test.sizes");
+    // Bucket 0 holds zeros; bucket i holds [2^(i-1), 2^i - 1].
+    h.observe(0);
+    h.observe(1);
+    h.observe(2);
+    h.observe(3);
+    h.observe(1024);
+
+    Histogram::Snapshot snap = h.snapshot();
+    EXPECT_EQ(snap.count, 5u);
+    EXPECT_EQ(snap.sum, 1030u);
+    EXPECT_EQ(snap.min, 0u);
+    EXPECT_EQ(snap.max, 1024u);
+    EXPECT_DOUBLE_EQ(snap.mean(), 206.0);
+    ASSERT_EQ(snap.buckets.size(), 12u); // trimmed after bucket 11
+    EXPECT_EQ(snap.buckets[0], 1u);      // 0
+    EXPECT_EQ(snap.buckets[1], 1u);      // 1
+    EXPECT_EQ(snap.buckets[2], 2u);      // 2, 3
+    EXPECT_EQ(snap.buckets[11], 1u);     // 1024
+}
+
+TEST(Metrics, HistogramQuantiles)
+{
+    Registry reg;
+    Histogram &h = reg.histogram("test.q");
+    for (int i = 0; i < 99; i++)
+        h.observe(5); // bucket 3, upper bound 7
+    h.observe(1'000'000); // bucket 20, upper bound 2^20 - 1
+
+    Histogram::Snapshot snap = h.snapshot();
+    EXPECT_EQ(snap.quantile(0.5), 7u);
+    EXPECT_EQ(snap.quantile(0.0), 7u);
+    EXPECT_EQ(snap.quantile(1.0), (1u << 20) - 1);
+
+    Histogram::Snapshot empty = reg.histogram("test.empty").snapshot();
+    EXPECT_EQ(empty.quantile(0.5), 0u);
+}
+
+TEST(Metrics, HistogramNeverSaturates)
+{
+    Registry reg;
+    Histogram &h = reg.histogram("test.wide");
+    h.observe(UINT64_MAX);
+    Histogram::Snapshot snap = h.snapshot();
+    EXPECT_EQ(snap.count, 1u);
+    EXPECT_EQ(snap.max, UINT64_MAX);
+    EXPECT_EQ(snap.buckets.size(), Histogram::numBuckets);
+}
+
+TEST(Metrics, BucketUpperBounds)
+{
+    EXPECT_EQ(Histogram::bucketUpperBound(0), 0u);
+    EXPECT_EQ(Histogram::bucketUpperBound(1), 1u);
+    EXPECT_EQ(Histogram::bucketUpperBound(2), 3u);
+    EXPECT_EQ(Histogram::bucketUpperBound(10), 1023u);
+    EXPECT_EQ(Histogram::bucketUpperBound(64), UINT64_MAX);
+}
+
+TEST(Metrics, SnapshotIsSortedAndComplete)
+{
+    Registry reg;
+    reg.counter("zz.last").add(1);
+    reg.gauge("aa.first").set(2.0);
+    reg.histogram("mm.middle").observe(3);
+
+    auto snap = reg.snapshot();
+    ASSERT_EQ(snap.size(), 3u);
+    EXPECT_EQ(snap[0].name, "aa.first");
+    EXPECT_EQ(snap[0].kind, MetricKind::Gauge);
+    EXPECT_EQ(snap[0].gauge, 2.0);
+    EXPECT_EQ(snap[1].name, "mm.middle");
+    EXPECT_EQ(snap[1].kind, MetricKind::Histogram);
+    EXPECT_EQ(snap[1].hist.count, 1u);
+    EXPECT_EQ(snap[2].name, "zz.last");
+    EXPECT_EQ(snap[2].kind, MetricKind::Counter);
+    EXPECT_EQ(snap[2].counter, 1u);
+}
+
+TEST(Metrics, KindMismatchPanics)
+{
+    Registry reg;
+    reg.counter("test.metric");
+    EXPECT_THROW(reg.gauge("test.metric"), PanicError);
+    EXPECT_THROW(reg.histogram("test.metric"), PanicError);
+}
+
+TEST(Metrics, ResetZeroesButKeepsRegistrations)
+{
+    Registry reg;
+    Counter &c = reg.counter("test.c");
+    c.add(5);
+    reg.gauge("test.g").set(1.5);
+    reg.histogram("test.h").observe(9);
+
+    reg.reset();
+    EXPECT_EQ(reg.size(), 3u);
+    // The cached reference is still the live metric after reset.
+    EXPECT_EQ(c.value(), 0u);
+    c.add(2);
+    EXPECT_EQ(reg.counter("test.c").value(), 2u);
+    EXPECT_EQ(reg.gauge("test.g").value(), 0.0);
+    EXPECT_EQ(reg.histogram("test.h").snapshot().count, 0u);
+}
+
+TEST(Metrics, CountersAreThreadSafe)
+{
+    Registry reg;
+    Counter &c = reg.counter("test.mt");
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; t++) {
+        threads.emplace_back([&c] {
+            for (int i = 0; i < 10'000; i++)
+                c.add();
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_EQ(c.value(), 40'000u);
+}
+
+TEST(Metrics, ScopedTimerAccumulates)
+{
+    Registry reg;
+    Counter &ns = reg.counter("test.ns");
+    {
+        ScopedTimer timer(ns);
+        // Burn a little time so elapsedNs() is visibly nonzero.
+        volatile int sink = 0;
+        for (int i = 0; i < 1000; i++)
+            sink = sink + i;
+        EXPECT_GE(timer.elapsedNs(), 0u);
+    }
+    uint64_t first = ns.value();
+    EXPECT_GT(first, 0u);
+    {
+        ScopedTimer timer(ns);
+    }
+    EXPECT_GE(ns.value(), first);
+}
+
+TEST(Metrics, MacrosHitDefaultRegistry)
+{
+    uint64_t before =
+        defaultRegistry().counter("test.macro_events").value();
+    PB_COUNTER("test.macro_events");
+    PB_COUNTER_ADD("test.macro_events", 9);
+    EXPECT_EQ(defaultRegistry().counter("test.macro_events").value(),
+              before + 10);
+
+    uint64_t ns_before =
+        defaultRegistry().counter("test.macro_ns").value();
+    {
+        PB_SCOPED_TIMER("test.macro_ns");
+    }
+    EXPECT_GE(defaultRegistry().counter("test.macro_ns").value(),
+              ns_before);
+}
+
+TEST(Metrics, KindNames)
+{
+    EXPECT_STREQ(metricKindName(MetricKind::Counter), "counter");
+    EXPECT_STREQ(metricKindName(MetricKind::Gauge), "gauge");
+    EXPECT_STREQ(metricKindName(MetricKind::Histogram), "histogram");
+}
+
+} // namespace
