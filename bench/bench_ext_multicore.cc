@@ -8,6 +8,15 @@
  * balance — the quantity that bounds throughput for *stateful*
  * applications, where packets of one flow must share an engine
  * (paper reference [31]'s topology question).
+ *
+ * Each configuration runs twice: serially (the reference path) and
+ * with one worker thread per engine (BenchConfig::parallel).  The
+ * dispatch decisions are identical, so the per-engine outcomes
+ * match bit-for-bit; the wall-clock columns show what host-side
+ * parallelism actually buys.
+ *
+ * Flags: `--packets=N`, `--threads=0` (skip the threaded runs),
+ * `--batch=N` (packets per queue hand-off batch).
  */
 
 #include "apps/flow_class.hh"
@@ -25,9 +34,13 @@ main(int argc, char **argv)
     using namespace pb::core;
     return bench::benchMain(argc, argv, [&] {
         uint32_t packets = bench::packetArg(argc, argv, 8'000);
+        bool threaded = bench::uintArg(argc, argv, "threads", 1) != 0;
+        uint32_t batch = bench::uintArg(argc, argv, "batch", 64);
         bench::banner(
             strprintf("Extension: Flow-Pinned Multi-Engine Scaling "
-                      "(MRA, %u packets)", packets),
+                      "(MRA, %u packets, batch %u%s)",
+                      packets, batch,
+                      threaded ? "" : ", serial only"),
             "stateful apps parallelize up to the flow-level load "
             "balance; imbalance caps the speedup");
 
@@ -45,24 +58,59 @@ main(int argc, char **argv)
              [] { return std::make_unique<apps::TsaApp>(); }},
         };
 
-        TextTable table(5);
-        table.header({"App", "engines", "imbalance",
-                      "speedup", "efficiency"});
+        TextTable table(8);
+        table.header({"App", "engines", "imbalance", "speedup",
+                      "efficiency", "serial ms", "parallel ms",
+                      "wall x"});
         for (const auto &workload : workloads) {
             for (uint32_t engines : {1u, 2u, 4u, 8u, 16u}) {
-                MultiCoreBench cores(workload.factory, engines);
-                net::SyntheticTrace trace(net::Profile::MRA, packets,
-                                          3);
-                MultiCoreResult result = cores.run(trace, packets);
+                MultiCoreBench serial_cores(workload.factory,
+                                            engines);
+                net::SyntheticTrace serial_trace(net::Profile::MRA,
+                                                 packets, 3);
+                MultiCoreResult serial =
+                    serial_cores.run(serial_trace, packets);
+
+                std::string par_ms = "-";
+                std::string wall_x = "-";
+                if (threaded && engines > 1) {
+                    BenchConfig cfg;
+                    cfg.parallel = true;
+                    cfg.dispatchBatch = batch;
+                    MultiCoreBench par_cores(workload.factory,
+                                             engines, cfg);
+                    net::SyntheticTrace par_trace(net::Profile::MRA,
+                                                  packets, 3);
+                    MultiCoreResult par =
+                        par_cores.run(par_trace, packets);
+                    for (uint32_t e = 0; e < engines; e++) {
+                        if (par.engines[e].packets !=
+                                serial.engines[e].packets ||
+                            par.engines[e].instructions !=
+                                serial.engines[e].instructions)
+                            fatal("engine %u diverged between serial "
+                                  "and parallel runs", e);
+                    }
+                    par_ms = strprintf("%.1f", par.wallNs / 1e6);
+                    wall_x = strprintf(
+                        "%.2f", static_cast<double>(serial.wallNs) /
+                                    static_cast<double>(par.wallNs));
+                }
                 table.row({workload.name, std::to_string(engines),
-                           strprintf("%.2f", result.imbalance()),
-                           strprintf("%.2f", result.speedup()),
+                           strprintf("%.2f", serial.imbalance()),
+                           strprintf("%.2f", serial.speedup()),
                            strprintf("%.0f%%", 100.0 *
-                                                   result.speedup() /
-                                                   engines)});
+                                                   serial.speedup() /
+                                                   engines),
+                           strprintf("%.1f", serial.wallNs / 1e6),
+                           par_ms, wall_x});
             }
             table.rule();
         }
         std::printf("%s", table.render().c_str());
+        if (threaded)
+            std::printf("\nwall x = serial / parallel host time; "
+                        "per-engine outcomes are verified identical "
+                        "between the two paths\n");
     });
 }

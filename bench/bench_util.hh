@@ -41,6 +41,27 @@ packetArg(int argc, char **argv, uint32_t fallback)
     return fallback;
 }
 
+/**
+ * Parse `--<name>=N` as an unsigned integer (e.g. uintArg(argc,
+ * argv, "threads", 4) parses `--threads=N`); @p fallback when the
+ * option is absent or malformed.
+ */
+inline uint32_t
+uintArg(int argc, char **argv, std::string_view name,
+        uint32_t fallback)
+{
+    std::string prefix = "--" + std::string(name) + "=";
+    for (int i = 1; i < argc; i++) {
+        std::string_view arg = argv[i];
+        if (!startsWith(arg, prefix))
+            continue;
+        arg.remove_prefix(prefix.size());
+        if (auto value = parseInt(arg); value && *value >= 0)
+            return static_cast<uint32_t>(*value);
+    }
+    return fallback;
+}
+
 /** Parse `--report=FILE` or `--report FILE` from argv. */
 inline std::optional<std::string>
 reportArg(int argc, char **argv)

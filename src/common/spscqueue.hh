@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Bounded single-producer/single-consumer queue.
+ *
+ * The parallel multi-engine run loop (core/multicore.hh) hands
+ * batches of packets from one dispatcher thread to one worker thread
+ * per engine.  That pairing is exactly SPSC, so the queue needs no
+ * locks: a ring buffer with an acquire/release head/tail pair is
+ * enough, and the bounded capacity provides back-pressure when the
+ * dispatcher outruns a worker.
+ *
+ * Contract:
+ *  - exactly one thread calls push()/close(), exactly one calls pop(),
+ *  - push() blocks (yielding) while the queue is full,
+ *  - pop() blocks while the queue is empty and not closed, and
+ *    returns false once the queue is closed *and* drained,
+ *  - close() is called by the producer after its last push().
+ */
+
+#ifndef PB_COMMON_SPSCQUEUE_HH
+#define PB_COMMON_SPSCQUEUE_HH
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace pb
+{
+
+/** Bounded SPSC ring buffer holding up to @p capacity items. */
+template <typename T>
+class SpscQueue
+{
+  public:
+    explicit SpscQueue(size_t capacity) : slots(capacity + 1) {}
+
+    SpscQueue(const SpscQueue &) = delete;
+    SpscQueue &operator=(const SpscQueue &) = delete;
+
+    /** Producer: enqueue @p item, waiting while the queue is full. */
+    void
+    push(T &&item)
+    {
+        size_t h = head.load(std::memory_order_relaxed);
+        size_t nh = next(h);
+        while (nh == tail.load(std::memory_order_acquire))
+            std::this_thread::yield();
+        slots[h] = std::move(item);
+        head.store(nh, std::memory_order_release);
+    }
+
+    /**
+     * Consumer: dequeue into @p out, waiting while the queue is
+     * empty.  Returns false once the producer has close()d the queue
+     * and every item has been drained.
+     */
+    bool
+    pop(T &out)
+    {
+        size_t t = tail.load(std::memory_order_relaxed);
+        while (t == head.load(std::memory_order_acquire)) {
+            if (closed_.load(std::memory_order_acquire) &&
+                t == head.load(std::memory_order_acquire))
+                return false;
+            std::this_thread::yield();
+        }
+        out = std::move(slots[t]);
+        tail.store(next(t), std::memory_order_release);
+        return true;
+    }
+
+    /** Producer: no further push() calls will follow. */
+    void close() { closed_.store(true, std::memory_order_release); }
+
+    /** True once close() was called (items may still be queued). */
+    bool closed() const
+    {
+        return closed_.load(std::memory_order_acquire);
+    }
+
+    /** Maximum number of queued items. */
+    size_t capacity() const { return slots.size() - 1; }
+
+  private:
+    size_t
+    next(size_t i) const
+    {
+        return i + 1 == slots.size() ? 0 : i + 1;
+    }
+
+    std::vector<T> slots;
+    std::atomic<size_t> head{0}; ///< producer-owned write index
+    std::atomic<size_t> tail{0}; ///< consumer-owned read index
+    std::atomic<bool> closed_{false};
+};
+
+} // namespace pb
+
+#endif // PB_COMMON_SPSCQUEUE_HH

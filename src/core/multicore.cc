@@ -5,7 +5,15 @@
 
 #include "multicore.hh"
 
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <thread>
+
 #include "common/hash.hh"
+#include "common/logging.hh"
+#include "common/spscqueue.hh"
 #include "net/ipv4.hh"
 #include "obs/metrics.hh"
 
@@ -37,7 +45,8 @@ MultiCoreResult::speedup() const
 }
 
 MultiCoreBench::MultiCoreBench(const AppFactory &factory,
-                               uint32_t num_engines, BenchConfig cfg)
+                               uint32_t num_engines, BenchConfig cfg_)
+    : cfg(cfg_)
 {
     if (num_engines == 0)
         fatal("MultiCoreBench: need at least one engine");
@@ -50,12 +59,11 @@ MultiCoreBench::MultiCoreBench(const AppFactory &factory,
 }
 
 uint32_t
-MultiCoreBench::processPacket(net::Packet &packet)
+MultiCoreBench::dispatchIndex(const net::Packet &packet)
 {
     // Flow pinning: hash the 5-tuple so a flow's state stays on one
     // engine.  The dispatch hash is independent of the application's
     // own bucket hash to avoid correlated imbalance.
-    uint32_t index = 0;
     net::FiveTuple tuple;
     if (parseFiveTuple(packet, tuple)) {
         uint32_t ports =
@@ -63,8 +71,18 @@ MultiCoreBench::processPacket(net::Packet &packet)
             tuple.dstPort;
         uint32_t h = mix32(mix32(tuple.src, tuple.dst),
                            mix32(ports, tuple.proto));
-        index = h % numEngines();
+        return h % numEngines();
     }
+    // No 5-tuple (non-IPv4, truncated): round-robin instead of
+    // pinning everything to engine 0, which would skew mc.imbalance.
+    PB_COUNTER("mc.dispatch.no_tuple");
+    return rrNext++ % numEngines();
+}
+
+uint32_t
+MultiCoreBench::processPacket(net::Packet &packet)
+{
+    uint32_t index = dispatchIndex(packet);
     PacketOutcome outcome = engines[index]->processPacket(packet);
     loads[index].packets++;
     loads[index].instructions += outcome.stats.instCount;
@@ -73,7 +91,8 @@ MultiCoreBench::processPacket(net::Packet &packet)
 }
 
 MultiCoreResult
-MultiCoreBench::run(net::TraceSource &source, uint32_t max_packets)
+MultiCoreBench::runSerial(net::TraceSource &source,
+                          uint32_t max_packets)
 {
     for (uint32_t i = 0; i < max_packets; i++) {
         auto packet = source.next();
@@ -81,12 +100,134 @@ MultiCoreBench::run(net::TraceSource &source, uint32_t max_packets)
             break;
         processPacket(*packet);
     }
-    MultiCoreResult res = result();
+    return result();
+}
+
+MultiCoreResult
+MultiCoreBench::runParallel(net::TraceSource &source,
+                            uint32_t max_packets)
+{
+    const uint32_t n = numEngines();
+    const uint32_t batch_size = std::max<uint32_t>(1, cfg.dispatchBatch);
+    const uint32_t depth = std::max<uint32_t>(1, cfg.queueDepth);
+
+    using Batch = std::vector<net::Packet>;
+    std::vector<std::unique_ptr<SpscQueue<Batch>>> queues;
+    queues.reserve(n);
+    for (uint32_t e = 0; e < n; e++)
+        queues.push_back(std::make_unique<SpscQueue<Batch>>(depth));
+
+    std::mutex error_mu;
+    std::exception_ptr first_error;
+    std::atomic<bool> abort{false};
+
+    // One worker per engine; only worker e touches engines[e] and
+    // loads[e], so per-engine state needs no locking (thread start
+    // and join order the accesses against this thread).  A worker
+    // that throws records the exception, then keeps draining its
+    // queue so the dispatcher can never block on a full queue whose
+    // consumer is gone.
+    std::vector<std::thread> workers;
+    workers.reserve(n);
+    for (uint32_t e = 0; e < n; e++) {
+        workers.emplace_back([&, e] {
+            Batch batch;
+            bool failed = false;
+            while (queues[e]->pop(batch)) {
+                if (!failed) {
+                    try {
+                        for (auto &packet : batch) {
+                            PacketOutcome outcome =
+                                engines[e]->processPacket(packet);
+                            loads[e].packets++;
+                            loads[e].instructions +=
+                                outcome.stats.instCount;
+                        }
+                    } catch (...) {
+                        std::lock_guard<std::mutex> lock(error_mu);
+                        if (!first_error)
+                            first_error = std::current_exception();
+                        abort.store(true, std::memory_order_release);
+                        failed = true;
+                    }
+                }
+                batch.clear();
+            }
+        });
+    }
+
+    // The dispatcher (this thread) makes every dispatch decision in
+    // trace order with the same hash as the serial path, so engine e
+    // receives the identical packet subsequence either way.
+    obs::Counter &packets_ctr =
+        obs::defaultRegistry().counter("mc.packets");
+    obs::Counter &batches_ctr =
+        obs::defaultRegistry().counter("mc.batches");
+    std::vector<Batch> pending(n);
+    for (auto &batch : pending)
+        batch.reserve(batch_size);
+    for (uint32_t i = 0;
+         i < max_packets && !abort.load(std::memory_order_acquire);
+         i++) {
+        auto packet = source.next();
+        if (!packet)
+            break;
+        uint32_t e = dispatchIndex(*packet);
+        packets_ctr.add(1);
+        pending[e].push_back(std::move(*packet));
+        if (pending[e].size() >= batch_size) {
+            queues[e]->push(std::move(pending[e]));
+            batches_ctr.add(1);
+            pending[e] = Batch();
+            pending[e].reserve(batch_size);
+        }
+    }
+    for (uint32_t e = 0; e < n; e++) {
+        if (!pending[e].empty()) {
+            queues[e]->push(std::move(pending[e]));
+            batches_ctr.add(1);
+        }
+        queues[e]->close();
+    }
+    for (auto &worker : workers)
+        worker.join();
+    if (first_error)
+        std::rethrow_exception(first_error);
+    return result();
+}
+
+MultiCoreResult
+MultiCoreBench::run(net::TraceSource &source, uint32_t max_packets)
+{
+    auto start = std::chrono::steady_clock::now();
+    MultiCoreResult res = cfg.parallel && numEngines() > 1
+                              ? runParallel(source, max_packets)
+                              : runSerial(source, max_packets);
+    res.wallNs = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    publishRunMetrics(res);
+    return res;
+}
+
+void
+MultiCoreBench::publishRunMetrics(const MultiCoreResult &res)
+{
     obs::Registry &reg = obs::defaultRegistry();
     reg.gauge("mc.engines").set(numEngines());
     reg.gauge("mc.imbalance").set(res.imbalance());
     reg.gauge("mc.speedup").set(res.speedup());
-    return res;
+    reg.gauge("mc.parallel").set(cfg.parallel ? 1.0 : 0.0);
+    reg.counter("mc.wall_ns").add(res.wallNs);
+    // Per-engine aggregation: one gauge pair per engine, so reports
+    // expose the load split instead of one clobbered global value.
+    for (uint32_t e = 0; e < numEngines(); e++) {
+        reg.gauge(strprintf("mc.engine%u.packets", e))
+            .set(static_cast<double>(res.engines[e].packets));
+        reg.gauge(strprintf("mc.engine%u.insts", e))
+            .set(static_cast<double>(res.engines[e].instructions));
+    }
 }
 
 MultiCoreResult

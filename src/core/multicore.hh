@@ -7,10 +7,22 @@
  * same application on many engines (paper Section I and its
  * reference [31], "Pipelining vs. multiprocessors").  Stateful
  * applications require packets of one flow to visit the same engine
- * (flow pinning), so the dispatcher hashes the 5-tuple.  This class
+ * (flow pinning), so the dispatcher hashes the 5-tuple; packets with
+ * no parseable 5-tuple fall back to round-robin.  This class
  * instantiates N independent simulated machines — each with its own
  * memory and application state — and reports the resulting load
  * balance, which bounds the achievable speedup.
+ *
+ * Execution modes (BenchConfig::parallel):
+ *  - serial (default): every engine runs on the calling thread, the
+ *    reference path;
+ *  - parallel: one worker thread per engine, each owning its
+ *    PacketBench, fed batches of packets through bounded SPSC queues
+ *    by a dispatcher thread.  Dispatch decisions are made on the
+ *    dispatcher thread in trace order with the same hash, so each
+ *    engine sees the identical packet subsequence in the identical
+ *    order as the serial path — per-engine outcomes are
+ *    bit-identical; only wall-clock time changes.
  */
 
 #ifndef PB_CORE_MULTICORE_HH
@@ -39,6 +51,9 @@ struct MultiCoreResult
     uint64_t totalPackets = 0;
     uint64_t totalInstructions = 0;
 
+    /** Host wall-clock time of the run() that produced this. */
+    uint64_t wallNs = 0;
+
     /** Max engine instructions / mean engine instructions (>= 1). */
     double imbalance() const;
 
@@ -61,19 +76,27 @@ class MultiCoreBench
      * @param factory     creates one application per engine (each
      *                    engine owns independent state)
      * @param num_engines number of processing engines
-     * @param cfg         per-engine framework configuration
+     * @param cfg         per-engine framework configuration; its
+     *                    parallel/dispatchBatch/queueDepth fields
+     *                    select the run() execution mode
      */
     MultiCoreBench(const AppFactory &factory, uint32_t num_engines,
                    BenchConfig cfg = {});
 
     /**
-     * Dispatch one packet: 5-tuple-hashed to an engine (non-IPv4
-     * packets go to engine 0) and processed there.
+     * Dispatch one packet on the calling thread: 5-tuple-hashed to
+     * an engine (round-robin for packets without a parseable
+     * 5-tuple) and processed there.
      * @return the engine index used
      */
     uint32_t processPacket(net::Packet &packet);
 
-    /** Run up to @p max_packets from @p source. */
+    /**
+     * Run up to @p max_packets from @p source — serially, or with
+     * one worker thread per engine when cfg.parallel is set.  The
+     * first exception thrown by any worker is rethrown here after
+     * all threads have shut down cleanly.
+     */
     MultiCoreResult run(net::TraceSource &source,
                         uint32_t max_packets);
 
@@ -89,9 +112,28 @@ class MultiCoreBench
     PacketBench &engine(uint32_t index) { return *engines.at(index); }
 
   private:
+    /**
+     * Flow-pinned engine choice: the 5-tuple hash (independent of
+     * the applications' own bucket hashes), or round-robin when the
+     * packet has no parseable 5-tuple (non-IPv4, truncated), so
+     * such packets cannot pile up on engine 0 and skew the reported
+     * imbalance.
+     */
+    uint32_t dispatchIndex(const net::Packet &packet);
+
+    MultiCoreResult runSerial(net::TraceSource &source,
+                              uint32_t max_packets);
+    MultiCoreResult runParallel(net::TraceSource &source,
+                                uint32_t max_packets);
+
+    /** Publish mc.* metrics for a finished run(). */
+    void publishRunMetrics(const MultiCoreResult &res);
+
+    BenchConfig cfg;
     std::vector<std::unique_ptr<Application>> apps;
     std::vector<std::unique_ptr<PacketBench>> engines;
     std::vector<EngineLoad> loads;
+    uint32_t rrNext = 0; ///< round-robin cursor for no-5-tuple packets
 };
 
 } // namespace pb::core

@@ -54,6 +54,19 @@ PacketBench::PacketBench(Application &app_, BenchConfig cfg_)
     uniqueHist = &reg.histogram("pb.unique_insts_per_packet");
     if (cfg.timing)
         cycleHist = &reg.histogram("pb.cycles_per_packet");
+    if (cfg.microArch) {
+        uarchIcacheHitsCtr = &reg.counter("uarch.icache.hits");
+        uarchIcacheMissesCtr = &reg.counter("uarch.icache.misses");
+        uarchDcacheHitsCtr = &reg.counter("uarch.dcache.hits");
+        uarchDcacheMissesCtr = &reg.counter("uarch.dcache.misses");
+        uarchBranchLookupsCtr = &reg.counter("uarch.branch.lookups");
+        uarchBranchMispredictsCtr =
+            &reg.counter("uarch.branch.mispredicts");
+        uarchIcacheRateGauge = &reg.gauge("uarch.icache.miss_rate");
+        uarchDcacheRateGauge = &reg.gauge("uarch.dcache.miss_rate");
+        uarchBranchRateGauge =
+            &reg.gauge("uarch.branch.mispredict_rate");
+    }
     reg.gauge("pb.static_blocks")
         .set(static_cast<double>(blockMap->numBlocks()));
     reg.gauge("pb.program_bytes")
@@ -63,7 +76,6 @@ PacketBench::PacketBench(Application &app_, BenchConfig cfg_)
 void
 PacketBench::publishUarchMetrics()
 {
-    obs::Registry &reg = obs::defaultRegistry();
     UarchSnapshot now;
     now.icacheAccesses = uarch->icache().accesses();
     now.icacheMisses = uarch->icache().misses();
@@ -74,36 +86,25 @@ PacketBench::publishUarchMetrics()
 
     // The models count cumulatively; publish deltas so the global
     // counters stay correct with several PacketBench instances.
-    static obs::Counter &icacheHits =
-        reg.counter("uarch.icache.hits");
-    static obs::Counter &icacheMisses =
-        reg.counter("uarch.icache.misses");
-    static obs::Counter &dcacheHits =
-        reg.counter("uarch.dcache.hits");
-    static obs::Counter &dcacheMisses =
-        reg.counter("uarch.dcache.misses");
-    static obs::Counter &branchLookups =
-        reg.counter("uarch.branch.lookups");
-    static obs::Counter &branchMispredicts =
-        reg.counter("uarch.branch.mispredicts");
-
-    icacheHits.add((now.icacheAccesses - prevUarch.icacheAccesses) -
-                   (now.icacheMisses - prevUarch.icacheMisses));
-    icacheMisses.add(now.icacheMisses - prevUarch.icacheMisses);
-    dcacheHits.add((now.dcacheAccesses - prevUarch.dcacheAccesses) -
-                   (now.dcacheMisses - prevUarch.dcacheMisses));
-    dcacheMisses.add(now.dcacheMisses - prevUarch.dcacheMisses);
-    branchLookups.add(now.branchLookups - prevUarch.branchLookups);
-    branchMispredicts.add(now.branchMispredicts -
-                          prevUarch.branchMispredicts);
+    uarchIcacheHitsCtr->add(
+        (now.icacheAccesses - prevUarch.icacheAccesses) -
+        (now.icacheMisses - prevUarch.icacheMisses));
+    uarchIcacheMissesCtr->add(now.icacheMisses -
+                              prevUarch.icacheMisses);
+    uarchDcacheHitsCtr->add(
+        (now.dcacheAccesses - prevUarch.dcacheAccesses) -
+        (now.dcacheMisses - prevUarch.dcacheMisses));
+    uarchDcacheMissesCtr->add(now.dcacheMisses -
+                              prevUarch.dcacheMisses);
+    uarchBranchLookupsCtr->add(now.branchLookups -
+                               prevUarch.branchLookups);
+    uarchBranchMispredictsCtr->add(now.branchMispredicts -
+                                   prevUarch.branchMispredicts);
     prevUarch = now;
 
-    reg.gauge("uarch.icache.miss_rate")
-        .set(uarch->icache().missRate());
-    reg.gauge("uarch.dcache.miss_rate")
-        .set(uarch->dcache().missRate());
-    reg.gauge("uarch.branch.mispredict_rate")
-        .set(uarch->predictor().mispredictRate());
+    uarchIcacheRateGauge->set(uarch->icache().missRate());
+    uarchDcacheRateGauge->set(uarch->dcache().missRate());
+    uarchBranchRateGauge->set(uarch->predictor().mispredictRate());
 }
 
 PacketOutcome
@@ -119,9 +120,15 @@ PacketBench::processPacket(net::Packet &packet)
         fatal("packet with no layer-3 bytes reached the framework");
     if (l3_len > sim::layout::packetSize)
         fatal("packet larger than simulated packet memory");
-    mem.fill(sim::layout::packetBase,
-             std::min<uint32_t>(sim::layout::packetSize, 2048));
+    // Clear exactly the previous packet's stale tail beyond this
+    // packet's extent, so no bytes of packet N-1 survive into packet
+    // N's view of packet memory (and a 40-byte packet after another
+    // 40-byte packet costs no memset at all).
+    if (prevPacketLen > l3_len)
+        mem.fill(sim::layout::packetBase + l3_len,
+                 prevPacketLen - l3_len);
     mem.writeBlock(sim::layout::packetBase, packet.l3(), l3_len);
+    prevPacketLen = l3_len;
 
     // Selective accounting: the observer is active only while the
     // application's handler runs.

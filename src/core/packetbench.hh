@@ -64,6 +64,33 @@ struct BenchConfig
      * run(); 0 disables.  Silent unless PB_LOG_LEVEL allows Info.
      */
     uint32_t heartbeatPackets = 10'000;
+
+    /**
+     * @name Multi-engine execution (core/multicore.hh).
+     * Only MultiCoreBench reads these; a lone PacketBench ignores
+     * them.
+     * @{
+     */
+
+    /**
+     * Run MultiCoreBench::run() with one worker thread per engine,
+     * fed by bounded SPSC queues from a dispatcher thread.  Off by
+     * default: the serial path is the reference the parallel path
+     * must match bit-for-bit (same flow-pinned dispatch, so the
+     * per-engine packet sequences are identical either way).
+     */
+    bool parallel = false;
+
+    /**
+     * Packets per dispatcher-to-worker hand-off batch in the
+     * parallel run loop; larger batches amortize queue
+     * synchronization at the cost of latency to first dispatch.
+     */
+    uint32_t dispatchBatch = 64;
+
+    /** Per-engine queue capacity in batches (back-pressure bound). */
+    uint32_t queueDepth = 8;
+    /** @} */
 };
 
 /** Outcome of processing one packet. */
@@ -128,6 +155,14 @@ class PacketBench
     uint32_t entry = 0;
     uint64_t packetCount = 0;
 
+    /**
+     * Layer-3 extent of the previous packet in simulated packet
+     * memory; the next packet clears exactly the stale tail beyond
+     * its own length so applications can never observe another
+     * packet's bytes.
+     */
+    uint32_t prevPacketLen = 0;
+
     /** @name Published telemetry (obs/metrics.hh). @{ */
     void publishUarchMetrics();
 
@@ -140,6 +175,23 @@ class PacketBench
     obs::Histogram *instHist;
     obs::Histogram *uniqueHist;
     obs::Histogram *cycleHist = nullptr;
+
+    /**
+     * Cached uarch metric references, resolved at construction like
+     * the pb.* counters above (non-null only when cfg.microArch).
+     * Per-instance members, not function-local statics: a static
+     * would be shared across instances and would dangle if a test
+     * ever swapped the default registry.
+     */
+    obs::Counter *uarchIcacheHitsCtr = nullptr;
+    obs::Counter *uarchIcacheMissesCtr = nullptr;
+    obs::Counter *uarchDcacheHitsCtr = nullptr;
+    obs::Counter *uarchDcacheMissesCtr = nullptr;
+    obs::Counter *uarchBranchLookupsCtr = nullptr;
+    obs::Counter *uarchBranchMispredictsCtr = nullptr;
+    obs::Gauge *uarchIcacheRateGauge = nullptr;
+    obs::Gauge *uarchDcacheRateGauge = nullptr;
+    obs::Gauge *uarchBranchRateGauge = nullptr;
 
     /** This instance's share (the counters are process-global). */
     uint64_t myInsts = 0;

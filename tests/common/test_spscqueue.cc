@@ -1,0 +1,79 @@
+/**
+ * @file
+ * SPSC queue tests: FIFO order, close/drain semantics, move-only
+ * payloads, and a two-thread producer/consumer transfer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+
+#include "common/spscqueue.hh"
+
+namespace
+{
+
+using pb::SpscQueue;
+
+TEST(SpscQueue, FifoOrderSingleThread)
+{
+    SpscQueue<int> queue(4);
+    EXPECT_EQ(queue.capacity(), 4u);
+    for (int i = 0; i < 4; i++)
+        queue.push(int(i));
+    int out = -1;
+    for (int i = 0; i < 4; i++) {
+        ASSERT_TRUE(queue.pop(out));
+        EXPECT_EQ(out, i);
+    }
+}
+
+TEST(SpscQueue, CloseDrainsRemainingThenStops)
+{
+    SpscQueue<int> queue(8);
+    queue.push(1);
+    queue.push(2);
+    queue.close();
+    EXPECT_TRUE(queue.closed());
+    int out = 0;
+    EXPECT_TRUE(queue.pop(out));
+    EXPECT_EQ(out, 1);
+    EXPECT_TRUE(queue.pop(out));
+    EXPECT_EQ(out, 2);
+    EXPECT_FALSE(queue.pop(out)) << "closed and drained";
+}
+
+TEST(SpscQueue, MoveOnlyPayload)
+{
+    SpscQueue<std::unique_ptr<int>> queue(2);
+    queue.push(std::make_unique<int>(42));
+    std::unique_ptr<int> out;
+    ASSERT_TRUE(queue.pop(out));
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(*out, 42);
+}
+
+TEST(SpscQueue, TwoThreadTransferKeepsOrder)
+{
+    // Capacity far below the item count, so the producer hits the
+    // full-queue wait path and the consumer hits the empty-queue
+    // wait path many times.
+    constexpr int items = 100'000;
+    SpscQueue<int> queue(8);
+    std::thread producer([&] {
+        for (int i = 0; i < items; i++)
+            queue.push(int(i));
+        queue.close();
+    });
+    int expected = 0;
+    int out = -1;
+    while (queue.pop(out)) {
+        ASSERT_EQ(out, expected);
+        expected++;
+    }
+    producer.join();
+    EXPECT_EQ(expected, items);
+}
+
+} // namespace

@@ -7,10 +7,14 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "apps/flow_class.hh"
 #include "apps/nat_app.hh"
 #include "core/multicore.hh"
+#include "isa/assembler.hh"
 #include "net/tracegen.hh"
+#include "sim/simerror.hh"
 
 namespace
 {
@@ -128,6 +132,113 @@ TEST(MultiCore, NatEnginesAllocateIndependentPorts)
     for (uint32_t e = 0; e < cores.numEngines(); e++)
         total_bindings += probe.simBindingCount(cores.engine(e).memory());
     EXPECT_GT(total_bindings, 100u);
+}
+
+TEST(MultiCore, UnparseablePacketsSpreadRoundRobin)
+{
+    // Packets with no parseable 5-tuple (here: not IPv4) must not
+    // all pile up on engine 0 — they fall back to round-robin.
+    MultiCoreBench cores(flowFactory(64), 4);
+    std::set<uint32_t> used;
+    for (int i = 0; i < 8; i++) {
+        Packet packet;
+        packet.bytes.assign(40, 0); // version nibble 0: not IPv4
+        uint32_t index = cores.processPacket(packet);
+        EXPECT_EQ(index, static_cast<uint32_t>(i) % 4u);
+        used.insert(index);
+    }
+    EXPECT_EQ(used.size(), 4u);
+    MultiCoreResult result = cores.result();
+    for (const auto &engine : result.engines)
+        EXPECT_EQ(engine.packets, 2u);
+}
+
+TEST(MultiCore, ParallelMatchesSerialPerEngine)
+{
+    // The parallel run loop makes the same dispatch decisions in the
+    // same order as the serial path, so per-engine packet and
+    // instruction totals are bit-identical — across batch sizes and
+    // queue depths, including the degenerate 1/1 configuration.
+    MultiCoreBench serial(flowFactory(512), 4);
+    SyntheticTrace serial_trace(Profile::ODU, 3000, 7);
+    MultiCoreResult serial_res = serial.run(serial_trace, 3000);
+
+    struct Knobs
+    {
+        uint32_t batch;
+        uint32_t depth;
+    };
+    for (Knobs knobs : {Knobs{1, 1}, Knobs{16, 4}, Knobs{64, 8}}) {
+        BenchConfig cfg;
+        cfg.parallel = true;
+        cfg.dispatchBatch = knobs.batch;
+        cfg.queueDepth = knobs.depth;
+        MultiCoreBench parallel(flowFactory(512), 4, cfg);
+        SyntheticTrace trace(Profile::ODU, 3000, 7);
+        MultiCoreResult par_res = parallel.run(trace, 3000);
+
+        ASSERT_EQ(par_res.engines.size(), serial_res.engines.size());
+        for (size_t e = 0; e < serial_res.engines.size(); e++) {
+            EXPECT_EQ(par_res.engines[e].packets,
+                      serial_res.engines[e].packets)
+                << "batch " << knobs.batch << " engine " << e;
+            EXPECT_EQ(par_res.engines[e].instructions,
+                      serial_res.engines[e].instructions)
+                << "batch " << knobs.batch << " engine " << e;
+        }
+        EXPECT_EQ(par_res.totalPackets, serial_res.totalPackets);
+        EXPECT_EQ(par_res.totalInstructions,
+                  serial_res.totalInstructions);
+    }
+}
+
+TEST(MultiCore, ParallelPartitionsFlowStateLikeSerial)
+{
+    // Engine-local application state (the flow tables) is also
+    // identical to the serial run, engine by engine.
+    MultiCoreBench serial(flowFactory(1024), 8);
+    MultiCoreBench parallel(flowFactory(1024), 8, [] {
+        BenchConfig cfg;
+        cfg.parallel = true;
+        return cfg;
+    }());
+    SyntheticTrace t1(Profile::MRA, 4000, 11);
+    SyntheticTrace t2(Profile::MRA, 4000, 11);
+    serial.run(t1, 4000);
+    parallel.run(t2, 4000);
+
+    apps::FlowClassApp probe(1024);
+    for (uint32_t e = 0; e < 8; e++)
+        EXPECT_EQ(probe.simFlowCount(parallel.engine(e).memory()),
+                  probe.simFlowCount(serial.engine(e).memory()))
+            << "engine " << e;
+}
+
+TEST(MultiCore, ParallelPropagatesWorkerExceptions)
+{
+    // A worker whose application blows the instruction budget must
+    // surface the error on the calling thread after a clean
+    // shutdown of every other worker.
+    class SpinApp : public Application
+    {
+      public:
+        std::string name() const override { return "spin"; }
+        isa::Program
+        setup(sim::Memory &mem) override
+        {
+            (void)mem;
+            return isa::Assembler(sim::layout::textBase)
+                .assemble("main: b main\n");
+        }
+    };
+    BenchConfig cfg;
+    cfg.parallel = true;
+    cfg.instBudget = 10'000;
+    cfg.dispatchBatch = 8;
+    MultiCoreBench cores(
+        [] { return std::make_unique<SpinApp>(); }, 4, cfg);
+    SyntheticTrace trace(Profile::MRA, 2000, 5);
+    EXPECT_THROW(cores.run(trace, 2000), sim::BudgetError);
 }
 
 TEST(MultiCore, ZeroEnginesRejected)

@@ -91,6 +91,63 @@ TEST(PacketBench, RunsHandlerPerPacket)
     EXPECT_EQ(bench.packetsProcessed(), 5u);
 }
 
+TEST(PacketBench, PacketMemoryCarriesNoStaleBytesAcrossPackets)
+{
+    // Regression: the framework used to zero only the first 2 KiB of
+    // the 64 KiB packet region, so a large packet's tail stayed
+    // visible to every later (smaller) packet's application.
+    CountingApp app;
+    PacketBench bench(app);
+
+    FiveTuple tuple;
+    tuple.src = 0x0a000001;
+    tuple.dst = 0x0a000002;
+    tuple.proto = 17;
+    Packet big;
+    big.bytes = buildIpv4Packet(tuple, 3000, 64, 0xAB);
+    big.wireLen = 3000;
+    bench.processPacket(big);
+    // The big packet's own payload is in place, including beyond the
+    // old 2 KiB memset boundary.
+    EXPECT_EQ(bench.memory().read8(sim::layout::packetBase + 100),
+              0xABu);
+    EXPECT_EQ(bench.memory().read8(sim::layout::packetBase + 2500),
+              0xABu);
+    EXPECT_EQ(bench.memory().read8(sim::layout::packetBase + 2999),
+              0xABu);
+
+    Packet small = simplePacket(); // 40 bytes
+    bench.processPacket(small);
+    // Packet N must not observe any byte of packet N-1 beyond its
+    // own length.
+    for (uint32_t off : {40u, 100u, 2047u, 2048u, 2500u, 2999u})
+        EXPECT_EQ(bench.memory().read8(sim::layout::packetBase + off),
+                  0u)
+            << "stale byte at packet offset " << off;
+}
+
+TEST(PacketBench, UarchPublishingSurvivesRegistryReset)
+{
+    // The uarch counter references are cached per instance at
+    // construction; a registry reset zeroes values but must not
+    // break delta publishing.
+    CountingApp app;
+    BenchConfig cfg;
+    cfg.microArch = true;
+    PacketBench bench(app, cfg);
+    Packet packet = simplePacket();
+    bench.processPacket(packet);
+    obs::defaultRegistry().reset();
+    bench.processPacket(packet);
+    // The handler runs 7 instructions per packet, so the second
+    // packet publishes a delta of exactly 7 icache accesses.
+    obs::Registry &reg = obs::defaultRegistry();
+    EXPECT_EQ(reg.counter("uarch.icache.hits").value() +
+                  reg.counter("uarch.icache.misses").value(),
+              7u);
+    EXPECT_EQ(reg.counter("pb.packets").value(), 1u);
+}
+
 TEST(PacketBench, SelectiveAccountingExcludesFrameworkWork)
 {
     // Setup writes megabytes of state; packet stats must see none
