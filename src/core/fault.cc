@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Fault-isolation name tables.
+ */
+
+#include "fault.hh"
+
+namespace pb::core
+{
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::None:
+        return "none";
+      case FaultKind::MalformedPacket:
+        return "malformed-packet";
+      case FaultKind::SimFault:
+        return "sim-fault";
+      case FaultKind::BudgetExceeded:
+        return "budget-exceeded";
+    }
+    return "unknown";
+}
+
+const char *
+faultPolicyName(FaultPolicy policy)
+{
+    switch (policy) {
+      case FaultPolicy::Abort:
+        return "abort";
+      case FaultPolicy::Drop:
+        return "drop";
+      case FaultPolicy::Quarantine:
+        return "quarantine";
+    }
+    return "unknown";
+}
+
+} // namespace pb::core

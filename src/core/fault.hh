@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Per-packet fault isolation.
+ *
+ * Real traces contain malformed packets and real applications have
+ * bugs; neither should kill a multi-million-packet run.  This header
+ * defines what the framework records when a packet cannot be
+ * processed (FaultKind), what it does about it (FaultPolicy), and the
+ * thread-safe quarantine sink that captures the offending packets for
+ * offline reproduction.
+ *
+ * A faulted packet leaves its engine clean: registers reset, the
+ * observer detached, the packet-memory extent tracking correct —
+ * packet N+1 simulates exactly as if packet N had never existed.
+ */
+
+#ifndef PB_CORE_FAULT_HH
+#define PB_CORE_FAULT_HH
+
+#include <cstdint>
+#include <mutex>
+
+#include "net/trace.hh"
+
+namespace pb::core
+{
+
+/** Why a packet could not be processed. */
+enum class FaultKind : uint8_t
+{
+    None = 0,       ///< packet processed normally
+    MalformedPacket, ///< no L3 bytes, or larger than packet memory
+    SimFault,       ///< the handler faulted (bad access, bad opcode)
+    BudgetExceeded, ///< the handler blew its instruction budget
+};
+
+/** Human-readable fault-kind name. */
+const char *faultKindName(FaultKind kind);
+
+/** What the framework does with a faulting packet. */
+enum class FaultPolicy : uint8_t
+{
+    /**
+     * Throw / fatal() as before: the first fault ends the run.  The
+     * default — a clean trace that faults indicates a framework or
+     * application bug, and hiding that would corrupt results.
+     */
+    Abort,
+
+    /** Record the fault in the outcome and metrics, then continue. */
+    Drop,
+
+    /**
+     * Like Drop, and additionally write the offending packet to
+     * BenchConfig::quarantine for offline reproduction.
+     */
+    Quarantine,
+};
+
+/** Human-readable fault-policy name. */
+const char *faultPolicyName(FaultPolicy policy);
+
+/**
+ * Thread-safe quarantine capture: wraps any TraceSink (typically a
+ * PcapWriter) behind a mutex so the engines of a parallel
+ * MultiCoreBench run can share one quarantine file.  Packets are
+ * written in fault order, which under parallel execution is a valid
+ * interleaving rather than trace order — each packet is
+ * byte-identical to what the faulting engine saw.
+ */
+class QuarantineSink : public net::TraceSink
+{
+  public:
+    /** @param downstream sink that receives the packets; must
+     *                    outlive this object. */
+    explicit QuarantineSink(net::TraceSink &downstream)
+        : sink(downstream)
+    {}
+
+    void
+    write(const net::Packet &packet) override
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        sink.write(packet);
+        count++;
+    }
+
+    /** Packets quarantined so far. */
+    uint64_t
+    quarantined() const
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        return count;
+    }
+
+  private:
+    net::TraceSink &sink;
+    mutable std::mutex mu;
+    uint64_t count = 0;
+};
+
+} // namespace pb::core
+
+#endif // PB_CORE_FAULT_HH

@@ -86,6 +86,8 @@ MultiCoreBench::processPacket(net::Packet &packet)
     PacketOutcome outcome = engines[index]->processPacket(packet);
     loads[index].packets++;
     loads[index].instructions += outcome.stats.instCount;
+    if (outcome.faulted())
+        loads[index].faults++;
     PB_COUNTER("mc.packets");
     return index;
 }
@@ -137,11 +139,18 @@ MultiCoreBench::runParallel(net::TraceSource &source,
                 if (!failed) {
                     try {
                         for (auto &packet : batch) {
+                            // Under Drop/Quarantine a faulting
+                            // packet is an outcome, not an
+                            // exception, so it cannot poison the
+                            // run; only Abort (or a framework bug)
+                            // reaches the catch below.
                             PacketOutcome outcome =
                                 engines[e]->processPacket(packet);
                             loads[e].packets++;
                             loads[e].instructions +=
                                 outcome.stats.instCount;
+                            if (outcome.faulted())
+                                loads[e].faults++;
                         }
                     } catch (...) {
                         std::lock_guard<std::mutex> lock(error_mu);
@@ -227,6 +236,8 @@ MultiCoreBench::publishRunMetrics(const MultiCoreResult &res)
             .set(static_cast<double>(res.engines[e].packets));
         reg.gauge(strprintf("mc.engine%u.insts", e))
             .set(static_cast<double>(res.engines[e].instructions));
+        reg.gauge(strprintf("mc.engine%u.faults", e))
+            .set(static_cast<double>(res.engines[e].faults));
     }
 }
 
@@ -238,6 +249,7 @@ MultiCoreBench::result() const
     for (const auto &load : loads) {
         res.totalPackets += load.packets;
         res.totalInstructions += load.instructions;
+        res.totalFaults += load.faults;
     }
     return res;
 }

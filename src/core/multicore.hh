@@ -42,6 +42,7 @@ struct EngineLoad
 {
     uint64_t packets = 0;
     uint64_t instructions = 0;
+    uint64_t faults = 0; ///< faulted packets (Drop/Quarantine policy)
 };
 
 /** Result of a multi-engine run. */
@@ -50,6 +51,7 @@ struct MultiCoreResult
     std::vector<EngineLoad> engines;
     uint64_t totalPackets = 0;
     uint64_t totalInstructions = 0;
+    uint64_t totalFaults = 0;
 
     /** Host wall-clock time of the run() that produced this. */
     uint64_t wallNs = 0;

@@ -8,6 +8,7 @@
 #include <chrono>
 
 #include "sim/memmap.hh"
+#include "sim/simerror.hh"
 
 namespace pb::core
 {
@@ -48,6 +49,11 @@ PacketBench::PacketBench(Application &app_, BenchConfig cfg_)
     instsCtr = &reg.counter("pb.insts");
     sentCtr = &reg.counter("pb.sent");
     droppedCtr = &reg.counter("pb.dropped");
+    faultsTotalCtr = &reg.counter("pb.faults.total");
+    faultsMalformedCtr = &reg.counter("pb.faults.malformed");
+    faultsSimCtr = &reg.counter("pb.faults.sim");
+    faultsBudgetCtr = &reg.counter("pb.faults.budget");
+    faultsQuarantinedCtr = &reg.counter("pb.faults.quarantined");
     simNsCtr = &reg.counter("phase.simulate_ns");
     mipsGauge = &reg.gauge("pb.sim_mips");
     instHist = &reg.histogram("pb.insts_per_packet");
@@ -108,18 +114,90 @@ PacketBench::publishUarchMetrics()
 }
 
 PacketOutcome
+PacketBench::recordFault(const net::Packet &capture, FaultKind kind,
+                         std::string message, sim::PacketStats stats,
+                         uint64_t cycles, uint64_t sim_ns)
+{
+    PacketOutcome outcome;
+    outcome.stats = stats;
+    outcome.cycles = cycles;
+    outcome.verdict = isa::SysCode::Drop;
+    outcome.fault = kind;
+    outcome.faultMessage = std::move(message);
+    packetCount++;
+
+    // Invariant: pb.packets == pb.sent + pb.dropped + pb.faults.total.
+    // A faulted packet counts as a packet (and any partial work the
+    // handler did counts as instructions and simulation time), but it
+    // is neither sent nor dropped and stays out of the per-packet
+    // histograms that characterize the workload.
+    packetsCtr->add(1);
+    instsCtr->add(outcome.stats.instCount);
+    simNsCtr->add(sim_ns);
+    faultsTotalCtr->add(1);
+    switch (kind) {
+      case FaultKind::MalformedPacket:
+        faultsMalformedCtr->add(1);
+        break;
+      case FaultKind::SimFault:
+        faultsSimCtr->add(1);
+        break;
+      case FaultKind::BudgetExceeded:
+        faultsBudgetCtr->add(1);
+        break;
+      case FaultKind::None:
+        break;
+    }
+    myInsts += outcome.stats.instCount;
+    mySimNs += sim_ns;
+    if (mySimNs > 0)
+        mipsGauge->set(static_cast<double>(myInsts) * 1e3 /
+                       static_cast<double>(mySimNs));
+    if (uarch)
+        publishUarchMetrics();
+
+    PB_LOG(Debug, "%s: packet fault (%s): %s", app.name().c_str(),
+           faultKindName(kind), outcome.faultMessage.c_str());
+
+    if (cfg.faultPolicy == FaultPolicy::Quarantine &&
+        cfg.quarantine) {
+        cfg.quarantine->write(capture);
+        faultsQuarantinedCtr->add(1);
+    }
+    return outcome;
+}
+
+PacketOutcome
 PacketBench::processPacket(net::Packet &packet)
 {
+    // Validate before any preprocessing, so a malformed packet is
+    // recorded (and quarantined) exactly as the trace delivered it.
+    uint32_t l3_len = packet.l3Len();
+    if (l3_len == 0 || l3_len > sim::layout::packetSize) {
+        const char *msg =
+            l3_len == 0
+                ? "packet with no layer-3 bytes reached the framework"
+                : "packet larger than simulated packet memory";
+        if (cfg.faultPolicy == FaultPolicy::Abort)
+            fatal("%s", msg);
+        return recordFault(packet, FaultKind::MalformedPacket, msg,
+                           {}, 0, 0);
+    }
+
+    // Quarantine must capture the bytes as read from the trace, and
+    // scrambling is not guaranteed byte-reversible (checksum folding),
+    // so snapshot before it runs.
+    bool keep_original = cfg.scramble &&
+                         cfg.faultPolicy == FaultPolicy::Quarantine &&
+                         cfg.quarantine;
+    std::vector<uint8_t> original;
+    if (keep_original)
+        original = packet.bytes;
     if (cfg.scramble)
         scrambler.scramblePacket(packet);
 
     // Place the packet (from the L3 header onwards) into simulated
     // packet memory.  Framework work: not accounted.
-    uint16_t l3_len = packet.l3Len();
-    if (l3_len == 0)
-        fatal("packet with no layer-3 bytes reached the framework");
-    if (l3_len > sim::layout::packetSize)
-        fatal("packet larger than simulated packet memory");
     // Clear exactly the previous packet's stale tail beyond this
     // packet's extent, so no bytes of packet N-1 survive into packet
     // N's view of packet memory (and a 40-byte packet after another
@@ -140,7 +218,38 @@ PacketBench::processPacket(net::Packet &packet)
     if (timer)
         timer->mark();
     auto sim_start = std::chrono::steady_clock::now();
-    sim::RunResult result = cpu.run(entry, cfg.instBudget);
+    sim::RunResult result{};
+    try {
+        result = cpu.run(entry, cfg.instBudget);
+    } catch (const sim::SimError &e) {
+        // Leave the engine exactly as a completed packet would:
+        // recorder closed, observer detached, registers reset.
+        // prevPacketLen already covers this packet's extent, so the
+        // next packet's stale-tail clearing stays correct.
+        uint64_t sim_ns = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - sim_start)
+                .count());
+        sim::PacketStats stats = rec->endPacket();
+        uint64_t cycles = timer ? timer->cyclesSinceMark() : 0;
+        if (prof)
+            prof->flush();
+        cpu.setObserver(nullptr);
+        cpu.resetRegs();
+        if (cfg.faultPolicy == FaultPolicy::Abort)
+            throw;
+        FaultKind kind = dynamic_cast<const sim::BudgetError *>(&e)
+                             ? FaultKind::BudgetExceeded
+                             : FaultKind::SimFault;
+        if (keep_original) {
+            net::Packet repro = packet;
+            repro.bytes = std::move(original);
+            return recordFault(repro, kind, e.what(), stats, cycles,
+                               sim_ns);
+        }
+        return recordFault(packet, kind, e.what(), stats, cycles,
+                           sim_ns);
+    }
     uint64_t sim_ns = static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - sim_start)

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/app.hh"
+#include "core/fault.hh"
 #include "net/scramble.hh"
 #include "net/trace.hh"
 #include "obs/metrics.hh"
@@ -58,6 +59,23 @@ struct BenchConfig
 
     /** Attach the NPE32 hot-spot profiler (obs/profiler.hh). */
     bool profile = false;
+
+    /**
+     * What to do when a packet cannot be processed — malformed input
+     * (no L3 bytes, oversized) or a simulator fault in the handler
+     * (bad access, bad opcode, blown instruction budget).  Abort
+     * preserves the historical throwing behavior; Drop and Quarantine
+     * record the fault in the PacketOutcome and the pb.faults.*
+     * metrics and leave the engine clean for the next packet.
+     */
+    FaultPolicy faultPolicy = FaultPolicy::Abort;
+
+    /**
+     * Destination for faulting packets under FaultPolicy::Quarantine
+     * (ignored otherwise).  Use a QuarantineSink when several engines
+     * share one sink.  May be null: Quarantine then degrades to Drop.
+     */
+    net::TraceSink *quarantine = nullptr;
 
     /**
      * Emit a PB_LOG(Info) heartbeat every N processed packets in
@@ -100,6 +118,15 @@ struct PacketOutcome
     isa::SysCode verdict = isa::SysCode::Drop;
     uint32_t outInterface = 0; ///< a1 at SYS SEND
     uint64_t cycles = 0;       ///< modeled cycles (0 unless timing)
+
+    /** Why processing failed (None when it succeeded). */
+    FaultKind fault = FaultKind::None;
+
+    /** Diagnostic for a faulted packet (empty when none). */
+    std::string faultMessage;
+
+    /** True when this packet faulted instead of completing. */
+    bool faulted() const { return fault != FaultKind::None; }
 };
 
 /** One application instance bound to a simulated core. */
@@ -163,6 +190,19 @@ class PacketBench
      */
     uint32_t prevPacketLen = 0;
 
+    /**
+     * Record one faulted packet (policy is Drop or Quarantine):
+     * builds the Faulted outcome, publishes pb.faults.*, and — when
+     * quarantining — writes @p capture (the packet as read from the
+     * trace, pre-scramble) to cfg.quarantine.  Partial work the
+     * handler did before faulting arrives via @p stats / @p cycles /
+     * @p sim_ns so instruction and time accounting stay truthful.
+     */
+    PacketOutcome recordFault(const net::Packet &capture,
+                              FaultKind kind, std::string message,
+                              sim::PacketStats stats, uint64_t cycles,
+                              uint64_t sim_ns);
+
     /** @name Published telemetry (obs/metrics.hh). @{ */
     void publishUarchMetrics();
 
@@ -170,6 +210,11 @@ class PacketBench
     obs::Counter *instsCtr;
     obs::Counter *sentCtr;
     obs::Counter *droppedCtr;
+    obs::Counter *faultsTotalCtr;
+    obs::Counter *faultsMalformedCtr;
+    obs::Counter *faultsSimCtr;
+    obs::Counter *faultsBudgetCtr;
+    obs::Counter *faultsQuarantinedCtr;
     obs::Counter *simNsCtr;
     obs::Gauge *mipsGauge;
     obs::Histogram *instHist;

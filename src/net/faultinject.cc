@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Fault-injecting trace source implementation.
+ */
+
+#include "faultinject.hh"
+
+#include <algorithm>
+
+#include "common/hash.hh"
+#include "obs/metrics.hh"
+
+namespace pb::net
+{
+
+const char *
+injectedFaultName(InjectedFault kind)
+{
+    switch (kind) {
+      case InjectedFault::None:
+        return "none";
+      case InjectedFault::BitFlip:
+        return "bit-flip";
+      case InjectedFault::Truncate:
+        return "truncate";
+      case InjectedFault::HeaderCorrupt:
+        return "header-corrupt";
+      case InjectedFault::Oversize:
+        return "oversize";
+      case InjectedFault::PayloadBloat:
+        return "payload-bloat";
+    }
+    return "unknown";
+}
+
+FaultInjectingTraceSource::FaultInjectingTraceSource(
+    TraceSource &upstream_, FaultInjectConfig cfg_)
+    : upstream(upstream_), cfg(cfg_),
+      rng(mix32(cfg_.seed, 0xfa017))
+{
+}
+
+InjectedFault
+FaultInjectingTraceSource::pickKind()
+{
+    InjectedFault enabled[5];
+    uint32_t n = 0;
+    if (cfg.bitFlips)
+        enabled[n++] = InjectedFault::BitFlip;
+    if (cfg.truncation)
+        enabled[n++] = InjectedFault::Truncate;
+    if (cfg.headerCorruption)
+        enabled[n++] = InjectedFault::HeaderCorrupt;
+    if (cfg.oversize)
+        enabled[n++] = InjectedFault::Oversize;
+    if (cfg.payloadBloat)
+        enabled[n++] = InjectedFault::PayloadBloat;
+    if (n == 0)
+        return InjectedFault::None;
+    return enabled[rng.below(n)];
+}
+
+void
+FaultInjectingTraceSource::corrupt(Packet &packet, InjectedFault kind)
+{
+    switch (kind) {
+      case InjectedFault::None:
+        break;
+      case InjectedFault::BitFlip: {
+        if (packet.bytes.empty())
+            break;
+        uint32_t flips = 1 + rng.below(8);
+        for (uint32_t i = 0; i < flips; i++) {
+            uint32_t pos = rng.below(
+                static_cast<uint32_t>(packet.bytes.size()));
+            packet.bytes[pos] ^=
+                static_cast<uint8_t>(1u << rng.below(8));
+        }
+        break;
+      }
+      case InjectedFault::Truncate: {
+        // Keep at most the link-layer bytes: the capture ends before
+        // (or at) the L3 offset, so l3Len() is zero — the runt-frame
+        // shape real Ethernet traces contain.
+        uint32_t keep = rng.below(packet.l3Offset + 1u);
+        packet.bytes.resize(std::min<size_t>(packet.bytes.size(),
+                                             keep));
+        break;
+      }
+      case InjectedFault::HeaderCorrupt: {
+        if (packet.l3Len() == 0)
+            break;
+        uint8_t *l3 = packet.l3();
+        // Garble version/IHL, total length, and protocol — the
+        // fields parsers trust first.
+        l3[0] = static_cast<uint8_t>(rng.below(256));
+        if (packet.l3Len() >= 4) {
+            l3[2] = static_cast<uint8_t>(rng.below(256));
+            l3[3] = static_cast<uint8_t>(rng.below(256));
+        }
+        if (packet.l3Len() >= 10)
+            l3[9] = static_cast<uint8_t>(rng.below(256));
+        break;
+      }
+      case InjectedFault::Oversize:
+        packet.bytes.resize(packet.l3Offset + cfg.oversizeLen, 0xee);
+        break;
+      case InjectedFault::PayloadBloat:
+        packet.bytes.resize(packet.l3Offset + cfg.bloatLen, 0x5a);
+        break;
+    }
+}
+
+std::optional<Packet>
+FaultInjectingTraceSource::next()
+{
+    auto packet = upstream.next();
+    if (!packet) {
+        last = InjectedFault::None;
+        return packet;
+    }
+    index++;
+    last = InjectedFault::None;
+    if (cfg.period != 0 && index % cfg.period == 0) {
+        InjectedFault kind = pickKind();
+        if (kind != InjectedFault::None) {
+            corrupt(*packet, kind);
+            last = kind;
+            injected++;
+            PB_COUNTER("trace.injected_faults");
+            if (cfg.keepInjected)
+                kept.push_back(*packet);
+        }
+    }
+    return packet;
+}
+
+} // namespace pb::net

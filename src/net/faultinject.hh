@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Fault-injecting trace source.
+ *
+ * Wraps any TraceSource and corrupts every Nth packet with a seeded,
+ * reproducible mutation — bit flips, truncation to a runt, header
+ * corruption, growth beyond simulated packet memory, or a
+ * budget-blowing payload.  This is the repository's hostile-input
+ * generator: the fault-isolation layer (core/fault.hh) is tested and
+ * benchmarked against it, the way related trace-replay systems treat
+ * malformed input as the common case rather than the exception.
+ *
+ * Determinism: corruption decisions are a pure function of the
+ * configuration seed and the packet index, so two instances over
+ * identical upstreams produce byte-identical streams — which is what
+ * lets serial and parallel runs be compared on faulting traces.
+ */
+
+#ifndef PB_NET_FAULTINJECT_HH
+#define PB_NET_FAULTINJECT_HH
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "net/trace.hh"
+
+namespace pb::net
+{
+
+/** The corruption kinds the injector can apply. */
+enum class InjectedFault : uint8_t
+{
+    None = 0,      ///< packet passed through untouched
+    BitFlip,       ///< 1-8 random bit flips anywhere in the capture
+    Truncate,      ///< cut to at most l3Offset bytes (a runt: no L3)
+    HeaderCorrupt, ///< garble the IPv4 version/IHL and length fields
+    Oversize,      ///< grow beyond simulated packet memory
+    PayloadBloat,  ///< budget-blowing payload (hurts payload apps)
+};
+
+/** Human-readable corruption name. */
+const char *injectedFaultName(InjectedFault kind);
+
+/** Injector configuration. */
+struct FaultInjectConfig
+{
+    /** Corrupt every Nth packet (1-based; 0 disables injection). */
+    uint32_t period = 50;
+
+    /** Seed for all corruption decisions. */
+    uint32_t seed = 1;
+
+    /**
+     * @name Enabled corruption kinds.
+     * The kind applied to each victim is drawn uniformly from the
+     * enabled set.  Truncate and Oversize are *hard* faults — the
+     * framework can never process such packets, so injected counts
+     * can be checked exactly against pb.faults.*.  BitFlip and
+     * HeaderCorrupt are *noise*: the packet may still process
+     * cleanly, which is exactly what real corrupt traces do.
+     * @{
+     */
+    bool bitFlips = true;
+    bool truncation = true;
+    bool headerCorruption = true;
+    bool oversize = true;
+    bool payloadBloat = false;
+    /** @} */
+
+    /** Byte length used for Oversize (> 64 KiB packet memory). */
+    uint32_t oversizeLen = 70'000;
+
+    /** Byte length used for PayloadBloat (fits packet memory). */
+    uint32_t bloatLen = 60'000;
+
+    /**
+     * Keep a copy of every corrupted packet (as emitted), so tests
+     * can verify quarantine captures byte-for-byte.
+     */
+    bool keepInjected = false;
+};
+
+/** TraceSource decorator that corrupts every Nth packet. */
+class FaultInjectingTraceSource : public TraceSource
+{
+  public:
+    /** @param upstream source to wrap; must outlive the injector. */
+    FaultInjectingTraceSource(TraceSource &upstream,
+                              FaultInjectConfig cfg = {});
+
+    std::optional<Packet> next() override;
+    std::string name() const override
+    {
+        return upstream.name() + "+faults";
+    }
+
+    /** Packets corrupted so far. */
+    uint64_t injectedCount() const { return injected; }
+
+    /** Corruption applied to the most recent packet. */
+    InjectedFault lastFault() const { return last; }
+
+    /** Copies of the corrupted packets (cfg.keepInjected). */
+    const std::vector<Packet> &injectedPackets() const
+    {
+        return kept;
+    }
+
+  private:
+    InjectedFault pickKind();
+    void corrupt(Packet &packet, InjectedFault kind);
+
+    TraceSource &upstream;
+    FaultInjectConfig cfg;
+    Rng rng;
+    uint64_t index = 0;
+    uint64_t injected = 0;
+    InjectedFault last = InjectedFault::None;
+    std::vector<Packet> kept;
+};
+
+} // namespace pb::net
+
+#endif // PB_NET_FAULTINJECT_HH

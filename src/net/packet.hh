@@ -59,11 +59,20 @@ struct Packet
         return bytes.data() + l3Offset;
     }
 
-    /** Captured bytes from the IPv4 header onwards. */
-    uint16_t
+    /**
+     * Captured bytes from the IPv4 header onwards.
+     *
+     * Zero when the capture ends before the layer-3 offset (a runt
+     * Ethernet record, say, with incl_len < 14): such packets carry
+     * no usable L3 bytes and must surface as a malformed-packet
+     * fault, never as an underflowed 65-KiB phantom length.
+     */
+    uint32_t
     l3Len() const
     {
-        return static_cast<uint16_t>(bytes.size() - l3Offset);
+        if (l3Offset >= bytes.size())
+            return 0;
+        return static_cast<uint32_t>(bytes.size() - l3Offset);
     }
 };
 

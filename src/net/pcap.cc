@@ -20,25 +20,37 @@ namespace
 {
 
 constexpr uint32_t magicSwapped = 0xd4c3b2a1;
-constexpr uint32_t magicNanos = 0xa1b23c4d;
 constexpr size_t globalHeaderLen = 24;
 constexpr size_t recordHeaderLen = 16;
 
-/** Read exactly @p len bytes; returns false on clean EOF at byte 0. */
-bool
-readExact(std::istream &in, uint8_t *buf, size_t len,
-          const std::string &what)
+/** What a fixed-length read actually delivered. */
+enum class ReadStatus
 {
-    in.read(reinterpret_cast<char *>(buf), static_cast<std::streamsize>(len));
+    Ok,        ///< all bytes read
+    CleanEof,  ///< zero bytes read, stream at EOF
+    Truncated, ///< some but not all bytes read (EOF mid-record)
+};
+
+/**
+ * Read exactly @p len bytes.  A zero-byte read on a healthy stream
+ * at EOF is a clean end of trace; a zero-byte read on a broken
+ * stream is an I/O error, never "truncated record".
+ */
+ReadStatus
+readExact(std::istream &in, uint8_t *buf, size_t len,
+          const std::string &trace, const std::string &what)
+{
+    in.read(reinterpret_cast<char *>(buf),
+            static_cast<std::streamsize>(len));
     std::streamsize got = in.gcount();
-    if (got == 0 && in.eof())
-        return false;
-    if (static_cast<size_t>(got) != len) {
-        throw TraceFormatError(
-            strprintf("truncated pcap %s: wanted %zu bytes, got %zd",
-                      what.c_str(), len, got));
+    if (static_cast<size_t>(got) == len)
+        return ReadStatus::Ok;
+    if (in.bad() || (got == 0 && !in.eof())) {
+        throw TraceIoError(
+            strprintf("%s: stream error reading %s", trace.c_str(),
+                      what.c_str()));
     }
-    return true;
+    return got == 0 ? ReadStatus::CleanEof : ReadStatus::Truncated;
 }
 
 } // namespace
@@ -55,21 +67,26 @@ PcapReader::field16(const uint8_t *p) const
     return swapped ? loadBe16(p) : loadLe16(p);
 }
 
-PcapReader::PcapReader(std::istream &input, std::string trace_name)
-    : in(input), traceName(std::move(trace_name))
+PcapReader::PcapReader(std::istream &input, std::string trace_name,
+                       ReadRecovery recovery_)
+    : in(input), traceName(std::move(trace_name)), recovery(recovery_)
 {
     uint8_t hdr[globalHeaderLen];
-    if (!readExact(in, hdr, sizeof(hdr), "global header"))
-        throw TraceFormatError("empty pcap file");
+    if (readExact(in, hdr, sizeof(hdr), traceName, "global header") !=
+        ReadStatus::Ok)
+        throw TraceFormatError("empty or truncated pcap file");
 
     uint32_t magic = loadLe32(hdr);
     if (magic == pcapMagic) {
         swapped = false;
     } else if (magic == magicSwapped) {
         swapped = true;
-    } else if (magic == magicNanos || bswap32(magic) == magicNanos) {
-        throw TraceFormatError(
-            "nanosecond-resolution pcap files are not supported");
+    } else if (magic == pcapMagicNanos) {
+        swapped = false;
+        nanos = true;
+    } else if (magic == bswap32(pcapMagicNanos)) {
+        swapped = true;
+        nanos = true;
     } else {
         throw TraceFormatError(
             strprintf("bad pcap magic 0x%08x", magic));
@@ -96,43 +113,77 @@ PcapReader::PcapReader(std::istream &input, std::string trace_name)
     }
 }
 
+void
+PcapReader::malformedRecord(const std::string &msg)
+{
+    malformed++;
+    PB_COUNTER("trace.malformed");
+    if (recovery == ReadRecovery::Strict)
+        throw TraceFormatError(msg);
+    PB_LOG(Debug, "%s: skipping malformed record: %s",
+           traceName.c_str(), msg.c_str());
+}
+
 std::optional<Packet>
 PcapReader::next()
 {
     PB_SCOPED_TIMER("phase.trace_read_ns");
-    uint8_t hdr[recordHeaderLen];
-    if (!readExact(in, hdr, sizeof(hdr),
-                   strprintf("record header #%llu",
-                             static_cast<unsigned long long>(
-                                 packetIndex))))
-        return std::nullopt;
+    for (;;) {
+        uint8_t hdr[recordHeaderLen];
+        ReadStatus st =
+            readExact(in, hdr, sizeof(hdr), traceName,
+                      strprintf("record header #%llu",
+                                static_cast<unsigned long long>(
+                                    packetIndex)));
+        if (st == ReadStatus::CleanEof)
+            return std::nullopt;
+        if (st == ReadStatus::Truncated) {
+            malformedRecord(strprintf(
+                "truncated pcap record header #%llu",
+                static_cast<unsigned long long>(packetIndex)));
+            return std::nullopt; // nothing left to resync to
+        }
 
-    uint32_t ts_sec = field32(hdr + 0);
-    uint32_t ts_usec = field32(hdr + 4);
-    uint32_t incl_len = field32(hdr + 8);
-    uint32_t orig_len = field32(hdr + 12);
-    if (incl_len > 0x04000000) {
-        throw TraceFormatError(strprintf(
-            "implausible pcap record length %u (corrupt file?)",
-            incl_len));
-    }
+        uint32_t ts_sec = field32(hdr + 0);
+        uint32_t ts_frac = field32(hdr + 4);
+        uint32_t incl_len = field32(hdr + 8);
+        uint32_t orig_len = field32(hdr + 12);
+        if (incl_len > 0x04000000) {
+            malformedRecord(strprintf(
+                "implausible pcap record length %u (corrupt file?)",
+                incl_len));
+            // Skip: advance by the declared length and try the next
+            // record header; a garbage length lands on garbage, but
+            // consistent oversized records (e.g. beyond our cap)
+            // resynchronize exactly.
+            in.ignore(static_cast<std::streamsize>(incl_len));
+            if (!in.good())
+                return std::nullopt;
+            packetIndex++;
+            continue;
+        }
 
-    Packet packet;
-    packet.tsUsec = static_cast<uint64_t>(ts_sec) * 1'000'000 + ts_usec;
-    packet.wireLen = orig_len;
-    packet.bytes.resize(incl_len);
-    if (incl_len > 0 &&
-        !readExact(in, packet.bytes.data(), incl_len,
-                   strprintf("record #%llu body",
-                             static_cast<unsigned long long>(
-                                 packetIndex)))) {
-        throw TraceFormatError("pcap record body missing at EOF");
+        Packet packet;
+        // Nanosecond-magic files store the fraction in nanoseconds;
+        // scale to the microseconds the Packet carries.
+        packet.tsUsec = static_cast<uint64_t>(ts_sec) * 1'000'000 +
+                        (nanos ? ts_frac / 1000 : ts_frac);
+        packet.wireLen = orig_len;
+        packet.bytes.resize(incl_len);
+        if (incl_len > 0 &&
+            readExact(in, packet.bytes.data(), incl_len, traceName,
+                      strprintf("record #%llu body",
+                                static_cast<unsigned long long>(
+                                    packetIndex))) != ReadStatus::Ok) {
+            malformedRecord("pcap record body missing at EOF");
+            return std::nullopt;
+        }
+        packet.l3Offset = (link == LinkType::Ethernet) ? 14 : 0;
+        packetIndex++;
+        PB_COUNTER("trace.packets_read");
+        PB_COUNTER_ADD("trace.bytes_read", packet.bytes.size());
+        return packet;
     }
-    packet.l3Offset = (link == LinkType::Ethernet) ? 14 : 0;
-    packetIndex++;
-    PB_COUNTER("trace.packets_read");
-    PB_COUNTER_ADD("trace.bytes_read", packet.bytes.size());
-    return packet;
 }
 
 PcapWriter::PcapWriter(std::ostream &output, LinkType link_type,
@@ -176,12 +227,12 @@ namespace
 class OwningPcapReader : public TraceSource
 {
   public:
-    OwningPcapReader(const std::string &path)
+    OwningPcapReader(const std::string &path, ReadRecovery recovery)
         : file(path, std::ios::binary)
     {
         if (!file)
             fatal("cannot open pcap file '%s'", path.c_str());
-        reader = std::make_unique<PcapReader>(file, path);
+        reader = std::make_unique<PcapReader>(file, path, recovery);
     }
 
     std::optional<Packet> next() override { return reader->next(); }
@@ -195,9 +246,9 @@ class OwningPcapReader : public TraceSource
 } // namespace
 
 std::unique_ptr<TraceSource>
-openPcapFile(const std::string &path)
+openPcapFile(const std::string &path, ReadRecovery recovery)
 {
-    return std::make_unique<OwningPcapReader>(path);
+    return std::make_unique<OwningPcapReader>(path, recovery);
 }
 
 } // namespace pb::net

@@ -3,9 +3,16 @@
  * Reader and writer for the classic libpcap capture format,
  * implemented from scratch (no libpcap dependency).
  *
- * Supported: both byte orders (magic 0xa1b2c3d4 / 0xd4c3b2a1),
- * link types EN10MB (Ethernet) and RAW (IP).  Nanosecond-magic files
- * and other link types are rejected with a clear error.
+ * Supported: both byte orders (magic 0xa1b2c3d4 / 0xd4c3b2a1), the
+ * nanosecond-resolution magic 0xa1b23c4d in both byte orders
+ * (timestamps scaled to microseconds), link types EN10MB (Ethernet)
+ * and RAW (IP).  Other link types are rejected with a clear error.
+ *
+ * Malformed records (truncated bodies, implausible lengths) throw
+ * TraceFormatError by default; with ReadRecovery::Skip the reader
+ * counts them ("trace.malformed") and advances by the declared
+ * record length instead, so one corrupt record does not abandon a
+ * multi-million-packet trace.
  */
 
 #ifndef PB_NET_PCAP_HH
@@ -20,13 +27,6 @@
 namespace pb::net
 {
 
-/** Malformed or unsupported capture file. */
-class TraceFormatError : public Error
-{
-  public:
-    explicit TraceFormatError(const std::string &msg) : Error(msg) {}
-};
-
 /** Streaming pcap reader. */
 class PcapReader : public TraceSource
 {
@@ -35,9 +35,11 @@ class PcapReader : public TraceSource
      * Parse the global header from @p input.
      * @param input      stream positioned at the start of the file
      * @param trace_name name used in reports and error messages
+     * @param recovery   how to react to malformed records
      * @throws TraceFormatError on bad magic or unsupported link type
      */
-    PcapReader(std::istream &input, std::string trace_name = "pcap");
+    PcapReader(std::istream &input, std::string trace_name = "pcap",
+               ReadRecovery recovery = ReadRecovery::Strict);
 
     std::optional<Packet> next() override;
     std::string name() const override { return traceName; }
@@ -48,13 +50,25 @@ class PcapReader : public TraceSource
     /** Snap length declared in the file header. */
     uint32_t snapLen() const { return snap; }
 
+    /** File uses the nanosecond-resolution magic. */
+    bool nanosecond() const { return nanos; }
+
+    /** Malformed records skipped so far (ReadRecovery::Skip). */
+    uint64_t malformedRecords() const { return malformed; }
+
   private:
     std::istream &in;
     std::string traceName;
+    ReadRecovery recovery;
     bool swapped = false;
+    bool nanos = false;
     LinkType link = LinkType::Raw;
     uint32_t snap = 0;
     uint64_t packetIndex = 0;
+    uint64_t malformed = 0;
+
+    /** Count one malformed record; throws under Strict. */
+    void malformedRecord(const std::string &msg);
 
     uint32_t field32(const uint8_t *p) const;
     uint16_t field16(const uint8_t *p) const;
@@ -81,10 +95,14 @@ class PcapWriter : public TraceSink
 };
 
 /** Open a pcap file for reading (owns the stream). */
-std::unique_ptr<TraceSource> openPcapFile(const std::string &path);
+std::unique_ptr<TraceSource>
+openPcapFile(const std::string &path,
+             ReadRecovery recovery = ReadRecovery::Strict);
 
 /** pcap magic (host-endian written by our writer). */
 constexpr uint32_t pcapMagic = 0xa1b2c3d4;
+/** pcap magic for nanosecond-resolution timestamps. */
+constexpr uint32_t pcapMagicNanos = 0xa1b23c4d;
 /** pcap link-type codes. */
 constexpr uint32_t pcapLinkEthernet = 1;
 constexpr uint32_t pcapLinkRaw = 101;

@@ -14,10 +14,43 @@
 #include <optional>
 #include <string>
 
+#include "common/logging.hh"
 #include "net/packet.hh"
 
 namespace pb::net
 {
+
+/** Malformed or unsupported capture file. */
+class TraceFormatError : public Error
+{
+  public:
+    explicit TraceFormatError(const std::string &msg) : Error(msg) {}
+};
+
+/**
+ * The underlying stream failed (disk error, closed pipe).  Distinct
+ * from TraceFormatError: the bytes were never readable at all, so
+ * skip-and-count recovery does not apply.
+ */
+class TraceIoError : public Error
+{
+  public:
+    explicit TraceIoError(const std::string &msg) : Error(msg) {}
+};
+
+/**
+ * How a trace reader reacts to a malformed record.
+ *
+ * Real NLANR traces contain runt frames and truncated records; under
+ * Skip a reader counts them ("trace.malformed") and resynchronizes
+ * to the next record instead of abandoning the remaining millions of
+ * packets.  Stream-level I/O errors always throw TraceIoError.
+ */
+enum class ReadRecovery : uint8_t
+{
+    Strict, ///< throw TraceFormatError on the first bad record
+    Skip,   ///< skip and count bad records, continue reading
+};
 
 /** A sequential source of packets. */
 class TraceSource

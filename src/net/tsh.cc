@@ -12,52 +12,85 @@
 
 #include "common/byteorder.hh"
 #include "net/ipv4.hh"
-#include "net/pcap.hh" // TraceFormatError
 #include "obs/metrics.hh"
 
 namespace pb::net
 {
 
-TshReader::TshReader(std::istream &input, std::string trace_name)
-    : in(input), traceName(std::move(trace_name))
+TshReader::TshReader(std::istream &input, std::string trace_name,
+                     ReadRecovery recovery_)
+    : in(input), traceName(std::move(trace_name)), recovery(recovery_)
 {}
+
+void
+TshReader::malformedRecord(const std::string &msg)
+{
+    malformed++;
+    PB_COUNTER("trace.malformed");
+    if (recovery == ReadRecovery::Strict)
+        throw TraceFormatError(msg);
+    PB_LOG(Debug, "%s: skipping malformed record: %s",
+           traceName.c_str(), msg.c_str());
+}
 
 std::optional<Packet>
 TshReader::next()
 {
     PB_SCOPED_TIMER("phase.trace_read_ns");
-    uint8_t rec[tshRecordLen];
-    in.read(reinterpret_cast<char *>(rec), sizeof(rec));
-    std::streamsize got = in.gcount();
-    if (got == 0 && in.eof())
-        return std::nullopt;
-    if (static_cast<size_t>(got) != sizeof(rec)) {
-        throw TraceFormatError(strprintf(
-            "truncated TSH record #%llu: got %zd of %zu bytes",
-            static_cast<unsigned long long>(packetIndex), got,
-            sizeof(rec)));
+    for (;;) {
+        uint8_t rec[tshRecordLen];
+        in.read(reinterpret_cast<char *>(rec), sizeof(rec));
+        std::streamsize got = in.gcount();
+        if (got == 0) {
+            // A zero-byte read is a clean end of trace only on a
+            // healthy stream at EOF; on a broken stream it is an I/O
+            // error, not a "truncated record".
+            if (in.bad() || !in.eof()) {
+                throw TraceIoError(strprintf(
+                    "%s: stream error reading TSH record #%llu",
+                    traceName.c_str(),
+                    static_cast<unsigned long long>(packetIndex)));
+            }
+            return std::nullopt;
+        }
+        if (static_cast<size_t>(got) != sizeof(rec)) {
+            if (in.bad()) {
+                throw TraceIoError(strprintf(
+                    "%s: stream error mid-record #%llu",
+                    traceName.c_str(),
+                    static_cast<unsigned long long>(packetIndex)));
+            }
+            malformedRecord(strprintf(
+                "truncated TSH record #%llu: got %zd of %zu bytes",
+                static_cast<unsigned long long>(packetIndex), got,
+                sizeof(rec)));
+            return std::nullopt; // partial tail: nothing follows
+        }
+
+        uint32_t sec = loadBe32(rec);
+        uint32_t usec = (static_cast<uint32_t>(rec[5]) << 16) |
+                        (static_cast<uint32_t>(rec[6]) << 8) | rec[7];
+
+        Packet packet;
+        packet.tsUsec = static_cast<uint64_t>(sec) * 1'000'000 + usec;
+        packet.bytes.assign(rec + 8, rec + tshRecordLen);
+        packet.l3Offset = 0;
+
+        Ipv4ConstView ip(packet.bytes.data());
+        if (ip.version() != 4) {
+            malformedRecord(strprintf(
+                "TSH record #%llu does not contain an IPv4 header",
+                static_cast<unsigned long long>(packetIndex)));
+            // Fixed-size records resync trivially: read the next one.
+            packetIndex++;
+            continue;
+        }
+        packet.wireLen = ip.totalLen();
+        packetIndex++;
+        PB_COUNTER("trace.packets_read");
+        PB_COUNTER_ADD("trace.bytes_read", packet.bytes.size());
+        return packet;
     }
-
-    uint32_t sec = loadBe32(rec);
-    uint32_t usec = (static_cast<uint32_t>(rec[5]) << 16) |
-                    (static_cast<uint32_t>(rec[6]) << 8) | rec[7];
-
-    Packet packet;
-    packet.tsUsec = static_cast<uint64_t>(sec) * 1'000'000 + usec;
-    packet.bytes.assign(rec + 8, rec + tshRecordLen);
-    packet.l3Offset = 0;
-
-    Ipv4ConstView ip(packet.bytes.data());
-    if (ip.version() != 4) {
-        throw TraceFormatError(strprintf(
-            "TSH record #%llu does not contain an IPv4 header",
-            static_cast<unsigned long long>(packetIndex)));
-    }
-    packet.wireLen = ip.totalLen();
-    packetIndex++;
-    PB_COUNTER("trace.packets_read");
-    PB_COUNTER_ADD("trace.bytes_read", packet.bytes.size());
-    return packet;
 }
 
 TshWriter::TshWriter(std::ostream &output) : out(output) {}
@@ -91,12 +124,12 @@ namespace
 class OwningTshReader : public TraceSource
 {
   public:
-    OwningTshReader(const std::string &path)
+    OwningTshReader(const std::string &path, ReadRecovery recovery)
         : file(path, std::ios::binary)
     {
         if (!file)
             fatal("cannot open TSH file '%s'", path.c_str());
-        reader = std::make_unique<TshReader>(file, path);
+        reader = std::make_unique<TshReader>(file, path, recovery);
     }
 
     std::optional<Packet> next() override { return reader->next(); }
@@ -110,9 +143,9 @@ class OwningTshReader : public TraceSource
 } // namespace
 
 std::unique_ptr<TraceSource>
-openTshFile(const std::string &path)
+openTshFile(const std::string &path, ReadRecovery recovery)
 {
-    return std::make_unique<OwningTshReader>(path);
+    return std::make_unique<OwningTshReader>(path, recovery);
 }
 
 } // namespace pb::net

@@ -30,20 +30,41 @@ namespace pb::net
 /** Size of one TSH record in bytes. */
 constexpr size_t tshRecordLen = 44;
 
-/** Streaming TSH reader. */
+/**
+ * Streaming TSH reader.
+ *
+ * TSH has no framing beyond its fixed 44-byte records, so recovery
+ * from a malformed record (non-IPv4 payload, truncated tail) is
+ * trivial: under ReadRecovery::Skip the reader counts it in
+ * "trace.malformed" and reads the next record.  Stream-level I/O
+ * errors throw TraceIoError, never a misleading "truncated record".
+ */
 class TshReader : public TraceSource
 {
   public:
-    /** @param input stream positioned at the first record. */
-    TshReader(std::istream &input, std::string trace_name = "tsh");
+    /**
+     * @param input      stream positioned at the first record
+     * @param trace_name name used in reports and error messages
+     * @param recovery   how to react to malformed records
+     */
+    TshReader(std::istream &input, std::string trace_name = "tsh",
+              ReadRecovery recovery = ReadRecovery::Strict);
 
     std::optional<Packet> next() override;
     std::string name() const override { return traceName; }
 
+    /** Malformed records skipped so far (ReadRecovery::Skip). */
+    uint64_t malformedRecords() const { return malformed; }
+
   private:
+    /** Count one malformed record; throws under Strict. */
+    void malformedRecord(const std::string &msg);
+
     std::istream &in;
     std::string traceName;
+    ReadRecovery recovery;
     uint64_t packetIndex = 0;
+    uint64_t malformed = 0;
 };
 
 /** Streaming TSH writer (used for round-trip tests and tooling). */
@@ -63,7 +84,9 @@ class TshWriter : public TraceSink
 };
 
 /** Open a TSH file for reading (owns the stream). */
-std::unique_ptr<TraceSource> openTshFile(const std::string &path);
+std::unique_ptr<TraceSource>
+openTshFile(const std::string &path,
+            ReadRecovery recovery = ReadRecovery::Strict);
 
 } // namespace pb::net
 

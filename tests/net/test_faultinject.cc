@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Fault-injecting trace source tests: period, determinism, the
+ * per-kind corruption guarantees, and the keepInjected capture.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/faultinject.hh"
+#include "net/tracegen.hh"
+
+namespace
+{
+
+using namespace pb;
+using namespace pb::net;
+
+std::vector<Packet>
+drain(TraceSource &source)
+{
+    std::vector<Packet> packets;
+    while (auto packet = source.next())
+        packets.push_back(std::move(*packet));
+    return packets;
+}
+
+TEST(FaultInject, CorruptsEveryNthPacket)
+{
+    SyntheticTrace trace(Profile::MRA, 200, 3);
+    FaultInjectConfig cfg;
+    cfg.period = 10;
+    FaultInjectingTraceSource source(trace, cfg);
+
+    uint64_t index = 0;
+    uint64_t corrupted = 0;
+    while (auto packet = source.next()) {
+        index++;
+        if (source.lastFault() != InjectedFault::None) {
+            corrupted++;
+            EXPECT_EQ(index % 10, 0u)
+                << "corruption off-period at packet " << index;
+        }
+    }
+    EXPECT_EQ(index, 200u);
+    EXPECT_EQ(corrupted, 20u);
+    EXPECT_EQ(source.injectedCount(), 20u);
+}
+
+TEST(FaultInject, PeriodZeroDisablesInjection)
+{
+    SyntheticTrace trace(Profile::LAN, 50, 1);
+    FaultInjectConfig cfg;
+    cfg.period = 0;
+    FaultInjectingTraceSource source(trace, cfg);
+    drain(source);
+    EXPECT_EQ(source.injectedCount(), 0u);
+}
+
+TEST(FaultInject, DeterministicAcrossInstances)
+{
+    // Two injectors with the same seed over identical upstreams must
+    // emit byte-identical streams — the property that lets serial
+    // and parallel runs be compared on faulting traces.
+    FaultInjectConfig cfg;
+    cfg.period = 7;
+    cfg.seed = 42;
+
+    SyntheticTrace trace_a(Profile::COS, 150, 9);
+    SyntheticTrace trace_b(Profile::COS, 150, 9);
+    FaultInjectingTraceSource source_a(trace_a, cfg);
+    FaultInjectingTraceSource source_b(trace_b, cfg);
+    auto packets_a = drain(source_a);
+    auto packets_b = drain(source_b);
+
+    ASSERT_EQ(packets_a.size(), packets_b.size());
+    for (size_t i = 0; i < packets_a.size(); i++)
+        EXPECT_EQ(packets_a[i].bytes, packets_b[i].bytes)
+            << "stream diverged at packet " << i;
+    EXPECT_EQ(source_a.injectedCount(), source_b.injectedCount());
+}
+
+TEST(FaultInject, TruncationLeavesNoL3Bytes)
+{
+    SyntheticTrace trace(Profile::LAN, 100, 5);
+    FaultInjectConfig cfg;
+    cfg.period = 5;
+    cfg.bitFlips = false;
+    cfg.truncation = true;
+    cfg.headerCorruption = false;
+    cfg.oversize = false;
+    FaultInjectingTraceSource source(trace, cfg);
+    uint64_t checked = 0;
+    while (auto packet = source.next()) {
+        if (source.lastFault() == InjectedFault::Truncate) {
+            EXPECT_EQ(packet->l3Len(), 0u);
+            checked++;
+        }
+    }
+    EXPECT_EQ(checked, source.injectedCount());
+    EXPECT_GT(checked, 0u);
+}
+
+TEST(FaultInject, OversizeGrowsBeyondPacketMemory)
+{
+    SyntheticTrace trace(Profile::MRA, 100, 5);
+    FaultInjectConfig cfg;
+    cfg.period = 10;
+    cfg.bitFlips = false;
+    cfg.truncation = false;
+    cfg.headerCorruption = false;
+    cfg.oversize = true;
+    FaultInjectingTraceSource source(trace, cfg);
+    uint64_t checked = 0;
+    while (auto packet = source.next()) {
+        if (source.lastFault() == InjectedFault::Oversize) {
+            EXPECT_GE(packet->l3Len(), cfg.oversizeLen);
+            checked++;
+        }
+    }
+    EXPECT_EQ(checked, 10u);
+}
+
+TEST(FaultInject, NoKindsEnabledInjectsNothing)
+{
+    SyntheticTrace trace(Profile::LAN, 40, 2);
+    FaultInjectConfig cfg;
+    cfg.period = 4;
+    cfg.bitFlips = false;
+    cfg.truncation = false;
+    cfg.headerCorruption = false;
+    cfg.oversize = false;
+    FaultInjectingTraceSource source(trace, cfg);
+    drain(source);
+    EXPECT_EQ(source.injectedCount(), 0u);
+}
+
+TEST(FaultInject, KeepInjectedMatchesEmittedBytes)
+{
+    SyntheticTrace trace(Profile::MRA, 120, 11);
+    FaultInjectConfig cfg;
+    cfg.period = 12;
+    cfg.keepInjected = true;
+    FaultInjectingTraceSource source(trace, cfg);
+
+    std::vector<Packet> corrupted;
+    while (auto packet = source.next()) {
+        if (source.lastFault() != InjectedFault::None)
+            corrupted.push_back(std::move(*packet));
+    }
+    const auto &kept = source.injectedPackets();
+    ASSERT_EQ(kept.size(), corrupted.size());
+    for (size_t i = 0; i < kept.size(); i++)
+        EXPECT_EQ(kept[i].bytes, corrupted[i].bytes);
+}
+
+TEST(FaultInject, NameReflectsUpstream)
+{
+    SyntheticTrace trace(Profile::MRA, 1, 1);
+    FaultInjectingTraceSource source(trace);
+    EXPECT_EQ(source.name(), trace.name() + "+faults");
+}
+
+TEST(FaultInject, KindNamesAreStable)
+{
+    EXPECT_STREQ(injectedFaultName(InjectedFault::None), "none");
+    EXPECT_STREQ(injectedFaultName(InjectedFault::BitFlip),
+                 "bit-flip");
+    EXPECT_STREQ(injectedFaultName(InjectedFault::Truncate),
+                 "truncate");
+    EXPECT_STREQ(injectedFaultName(InjectedFault::HeaderCorrupt),
+                 "header-corrupt");
+    EXPECT_STREQ(injectedFaultName(InjectedFault::Oversize),
+                 "oversize");
+    EXPECT_STREQ(injectedFaultName(InjectedFault::PayloadBloat),
+                 "payload-bloat");
+}
+
+} // namespace

@@ -8,7 +8,7 @@
 #include <sstream>
 
 #include "net/ipv4.hh"
-#include "net/pcap.hh" // TraceFormatError
+#include "net/trace.hh" // TraceFormatError, TraceIoError
 #include "net/tsh.hh"
 
 namespace
@@ -98,6 +98,63 @@ TEST(Tsh, WriterRejectsHeaderlessPacket)
 TEST(Tsh, MissingFileIsFatal)
 {
     EXPECT_THROW(openTshFile("/nonexistent.tsh"), FatalError);
+}
+
+TEST(Tsh, BadStreamThrowsIoErrorNotFormatError)
+{
+    // A zero-byte read on a broken stream is an I/O failure, not a
+    // clean EOF and not a "truncated record".
+    std::stringstream stream;
+    TshWriter writer(stream);
+    writer.write(headerPacket(1, 100, 0));
+    TshReader reader(stream);
+    stream.setstate(std::ios::badbit);
+    EXPECT_THROW(reader.next(), TraceIoError);
+}
+
+TEST(TshRecovery, SkipResyncsPastNonIpv4Record)
+{
+    // TSH records are fixed-size, so resync after a bad record is
+    // trivial: read the next 44 bytes.
+    std::stringstream stream;
+    TshWriter writer(stream);
+    writer.write(headerPacket(1, 100, 10));
+    std::string good2;
+    {
+        std::stringstream tmp;
+        TshWriter w2(tmp);
+        w2.write(headerPacket(2, 200, 20));
+        good2 = tmp.str();
+    }
+    std::string bad(tshRecordLen, '\0');
+    bad[8] = 0x62; // version 6 in the IP header slot
+    std::string data = stream.str() + bad + good2;
+
+    std::stringstream in(data);
+    TshReader reader(in, "resync", ReadRecovery::Skip);
+    auto first = reader.next();
+    ASSERT_TRUE(first);
+    EXPECT_EQ(Ipv4ConstView(first->bytes.data()).src(), 1u);
+    auto second = reader.next();
+    ASSERT_TRUE(second) << "reader must resync past the bad record";
+    EXPECT_EQ(Ipv4ConstView(second->bytes.data()).src(), 2u);
+    EXPECT_FALSE(reader.next());
+    EXPECT_EQ(reader.malformedRecords(), 1u);
+}
+
+TEST(TshRecovery, SkipCountsTruncatedTail)
+{
+    std::stringstream stream;
+    TshWriter writer(stream);
+    writer.write(headerPacket(1, 100, 0));
+    writer.write(headerPacket(2, 100, 1));
+    std::string data = stream.str();
+    data.resize(data.size() - 5); // chop into the second record
+    std::stringstream in(data);
+    TshReader reader(in, "tail", ReadRecovery::Skip);
+    EXPECT_TRUE(reader.next());
+    EXPECT_FALSE(reader.next()) << "partial tail is end of trace";
+    EXPECT_EQ(reader.malformedRecords(), 1u);
 }
 
 } // namespace
