@@ -8,6 +8,14 @@
  * (obs/report.hh) of everything the run published into the default
  * metrics registry, and prints the paper reference values next to
  * the reproduction so the two are directly comparable.
+ *
+ * Observability outputs (all optional):
+ *  - `--report=FILE`: structured JSON run report (obs/report.hh),
+ *  - `--prom=FILE`: Prometheus text exposition of the registry,
+ *  - `--trace=FILE`: Chrome trace-event JSON of the run
+ *    (obs/tracing.hh; loads in Perfetto or chrome://tracing).
+ *    Tracing records for the whole body; PB_TRACE_CAP and
+ *    PB_TRACE_SAMPLE tune ring capacity and NPE32 sampling.
  */
 
 #ifndef PB_BENCH_BENCH_UTIL_HH
@@ -21,7 +29,9 @@
 #include "analysis/experiments.hh"
 #include "common/logging.hh"
 #include "common/strutil.hh"
+#include "obs/metrics.hh"
 #include "obs/report.hh"
+#include "obs/tracing.hh"
 
 namespace pb::bench
 {
@@ -62,18 +72,41 @@ uintArg(int argc, char **argv, std::string_view name,
     return fallback;
 }
 
+/** Parse `--<name>=FILE` or `--<name> FILE` from argv. */
+inline std::optional<std::string>
+fileArg(int argc, char **argv, std::string_view name)
+{
+    std::string eq = "--" + std::string(name) + "=";
+    std::string bare = "--" + std::string(name);
+    for (int i = 1; i < argc; i++) {
+        std::string_view arg = argv[i];
+        if (startsWith(arg, eq) && arg.size() > eq.size())
+            return std::string(arg.substr(eq.size()));
+        if (arg == bare && i + 1 < argc)
+            return std::string(argv[i + 1]);
+    }
+    return std::nullopt;
+}
+
 /** Parse `--report=FILE` or `--report FILE` from argv. */
 inline std::optional<std::string>
 reportArg(int argc, char **argv)
 {
-    for (int i = 1; i < argc; i++) {
-        std::string_view arg = argv[i];
-        if (startsWith(arg, "--report=") && arg.size() > 9)
-            return std::string(arg.substr(9));
-        if (arg == "--report" && i + 1 < argc)
-            return std::string(argv[i + 1]);
-    }
-    return std::nullopt;
+    return fileArg(argc, argv, "report");
+}
+
+/** Parse `--trace=FILE` (Chrome trace-event JSON destination). */
+inline std::optional<std::string>
+traceArg(int argc, char **argv)
+{
+    return fileArg(argc, argv, "trace");
+}
+
+/** Parse `--prom=FILE` (Prometheus text exposition destination). */
+inline std::optional<std::string>
+promArg(int argc, char **argv)
+{
+    return fileArg(argc, argv, "prom");
 }
 
 /** Print a section header for one experiment. */
@@ -92,15 +125,33 @@ banner(const std::string &title, const std::string &paper_note)
 /**
  * Run a table/figure main body with uniform error handling.  After
  * the body finishes, `--report=FILE` serializes the default metrics
- * registry plus run metadata as JSON into FILE.
+ * registry plus run metadata as JSON into FILE, `--prom=FILE` writes
+ * the registry in Prometheus text format, and `--trace=FILE` records
+ * the body under the event tracer and writes Chrome trace JSON.
  */
 template <typename Fn>
 int
 benchMain(int argc, char **argv, Fn &&body)
 {
     try {
+        auto trace_path = traceArg(argc, argv);
+        if (trace_path) {
+            obs::Tracer::instance().configureFromEnv();
+            obs::Tracer::instance().start();
+        }
         auto start = std::chrono::steady_clock::now();
         body();
+        if (trace_path) {
+            obs::Tracer::instance().stop();
+            obs::Tracer::instance().writeJsonFile(*trace_path);
+            std::fprintf(stderr, "trace written to %s\n",
+                         trace_path->c_str());
+        }
+        if (auto path = promArg(argc, argv)) {
+            obs::writePrometheusFile(*path, obs::defaultRegistry());
+            std::fprintf(stderr, "metrics written to %s\n",
+                         path->c_str());
+        }
         if (auto path = reportArg(argc, argv)) {
             obs::RunMeta meta = obs::RunMeta::fromArgv(argc, argv);
             meta.wallSeconds =

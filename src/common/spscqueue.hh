@@ -82,6 +82,19 @@ class SpscQueue
     /** Maximum number of queued items. */
     size_t capacity() const { return slots.size() - 1; }
 
+    /**
+     * Approximate occupancy (racy by nature: either index may move
+     * while we read).  Good enough for back-pressure telemetry —
+     * the dispatcher samples it into queue-occupancy trace events.
+     */
+    size_t
+    size() const
+    {
+        size_t h = head.load(std::memory_order_acquire);
+        size_t t = tail.load(std::memory_order_acquire);
+        return h >= t ? h - t : h + slots.size() - t;
+    }
+
   private:
     size_t
     next(size_t i) const

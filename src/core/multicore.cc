@@ -16,6 +16,7 @@
 #include "common/spscqueue.hh"
 #include "net/ipv4.hh"
 #include "obs/metrics.hh"
+#include "obs/tracing.hh"
 
 namespace pb::core
 {
@@ -52,8 +53,10 @@ MultiCoreBench::MultiCoreBench(const AppFactory &factory,
         fatal("MultiCoreBench: need at least one engine");
     for (uint32_t i = 0; i < num_engines; i++) {
         apps.push_back(factory());
+        BenchConfig engine_cfg = cfg;
+        engine_cfg.engineId = i;
         engines.push_back(
-            std::make_unique<PacketBench>(*apps.back(), cfg));
+            std::make_unique<PacketBench>(*apps.back(), engine_cfg));
     }
     loads.assign(num_engines, EngineLoad{});
 }
@@ -133,9 +136,18 @@ MultiCoreBench::runParallel(net::TraceSource &source,
     workers.reserve(n);
     for (uint32_t e = 0; e < n; e++) {
         workers.emplace_back([&, e] {
+            if (obs::traceEnabled())
+                obs::Tracer::instance().setThreadName(
+                    strprintf("engine %u", e));
             Batch batch;
             bool failed = false;
             while (queues[e]->pop(batch)) {
+                PB_TRACE_SPAN_NAMED(batch_span, "mc",
+                                    "worker.batch");
+                batch_span.arg("engine",
+                               static_cast<uint64_t>(e));
+                batch_span.arg("batch",
+                               static_cast<uint64_t>(batch.size()));
                 if (!failed) {
                     try {
                         for (auto &packet : batch) {
@@ -172,9 +184,30 @@ MultiCoreBench::runParallel(net::TraceSource &source,
         obs::defaultRegistry().counter("mc.packets");
     obs::Counter &batches_ctr =
         obs::defaultRegistry().counter("mc.batches");
+
+    // Queue-occupancy counter series, one per engine ("mc.queue0",
+    // ...); names are interned so rings can store bare pointers.
+    std::vector<const char *> queue_names;
+    if (obs::traceEnabled()) {
+        obs::Tracer &tracer = obs::Tracer::instance();
+        tracer.setThreadName("dispatcher");
+        for (uint32_t e = 0; e < n; e++)
+            queue_names.push_back(
+                tracer.intern(strprintf("mc.queue%u", e)));
+    }
     std::vector<Batch> pending(n);
     for (auto &batch : pending)
         batch.reserve(batch_size);
+    auto push_batch = [&](uint32_t e) {
+        PB_TRACE_SPAN_NAMED(span, "mc", "dispatch");
+        span.arg("engine", static_cast<uint64_t>(e));
+        span.arg("batch", static_cast<uint64_t>(pending[e].size()));
+        queues[e]->push(std::move(pending[e]));
+        batches_ctr.add(1);
+        if (obs::traceEnabled())
+            obs::traceCounter("mc", queue_names[e],
+                              queues[e]->size());
+    };
     for (uint32_t i = 0;
          i < max_packets && !abort.load(std::memory_order_acquire);
          i++) {
@@ -185,17 +218,14 @@ MultiCoreBench::runParallel(net::TraceSource &source,
         packets_ctr.add(1);
         pending[e].push_back(std::move(*packet));
         if (pending[e].size() >= batch_size) {
-            queues[e]->push(std::move(pending[e]));
-            batches_ctr.add(1);
+            push_batch(e);
             pending[e] = Batch();
             pending[e].reserve(batch_size);
         }
     }
     for (uint32_t e = 0; e < n; e++) {
-        if (!pending[e].empty()) {
-            queues[e]->push(std::move(pending[e]));
-            batches_ctr.add(1);
-        }
+        if (!pending[e].empty())
+            push_batch(e);
         queues[e]->close();
     }
     for (auto &worker : workers)

@@ -6,12 +6,57 @@
 #include "packetbench.hh"
 
 #include <chrono>
+#include <cstdlib>
 
 #include "sim/memmap.hh"
 #include "sim/simerror.hh"
 
 namespace pb::core
 {
+
+uint32_t
+defaultHeartbeatMs()
+{
+    static const uint32_t cached = [] {
+        const char *env = std::getenv("PB_HEARTBEAT_MS");
+        if (!env)
+            return 5000u;
+        char *end = nullptr;
+        unsigned long v = std::strtoul(env, &end, 10);
+        if (!end || *end != '\0' || v > UINT32_MAX) {
+            warn("ignoring malformed PB_HEARTBEAT_MS='%s'", env);
+            return 5000u;
+        }
+        return static_cast<uint32_t>(v);
+    }();
+    return cached;
+}
+
+namespace
+{
+
+/** Detaches a per-packet observer on every exit path. */
+struct ScopedObserver
+{
+    sim::FanoutObserver &fanout;
+    sim::ExecObserver *observer;
+
+    ScopedObserver(sim::FanoutObserver &fanout_,
+                   sim::ExecObserver *observer_)
+        : fanout(fanout_), observer(observer_)
+    {
+        if (observer)
+            fanout.add(observer);
+    }
+
+    ~ScopedObserver()
+    {
+        if (observer)
+            fanout.remove(observer);
+    }
+};
+
+} // namespace
 
 PacketBench::PacketBench(Application &app_, BenchConfig cfg_)
     : app(app_), cpu(mem), scrambler(cfg_.scrambleKey)
@@ -77,6 +122,10 @@ PacketBench::PacketBench(Application &app_, BenchConfig cfg_)
         .set(static_cast<double>(blockMap->numBlocks()));
     reg.gauge("pb.program_bytes")
         .set(static_cast<double>(cpu.program().sizeBytes()));
+
+    // Interned once: span annotation needs a pointer that stays valid
+    // for the tracer's lifetime, not the app's std::string buffer.
+    tracedAppName = obs::Tracer::instance().intern(app.name());
 }
 
 void
@@ -170,6 +219,13 @@ PacketBench::recordFault(const net::Packet &capture, FaultKind kind,
 PacketOutcome
 PacketBench::processPacket(net::Packet &packet)
 {
+    // One span per packet.  When tracing is off the constructor is a
+    // single relaxed load and the arg() calls are dead branches.
+    PB_TRACE_SPAN_NAMED(span, "pb", "packet");
+    span.arg("app", tracedAppName);
+    span.arg("engine", static_cast<uint64_t>(cfg.engineId));
+    span.arg("packet", packetCount);
+
     // Validate before any preprocessing, so a malformed packet is
     // recorded (and quarantined) exactly as the trace delivered it.
     uint32_t l3_len = packet.l3Len();
@@ -180,6 +236,7 @@ PacketBench::processPacket(net::Packet &packet)
                 : "packet larger than simulated packet memory";
         if (cfg.faultPolicy == FaultPolicy::Abort)
             fatal("%s", msg);
+        span.arg("fault", faultKindName(FaultKind::MalformedPacket));
         return recordFault(packet, FaultKind::MalformedPacket, msg,
                            {}, 0, 0);
     }
@@ -207,6 +264,16 @@ PacketBench::processPacket(net::Packet &packet)
                  prevPacketLen - l3_len);
     mem.writeBlock(sim::layout::packetBase, packet.l3(), l3_len);
     prevPacketLen = l3_len;
+
+    // Opt-in NPE32 instruction/memory event stream: attach the
+    // sampler to the fanout for every Nth packet while tracing runs
+    // (PB_TRACE_SAMPLE; 0 = never).  ScopedObserver detaches on both
+    // the completion and the fault path.
+    uint32_t npe_period = obs::Tracer::instance().npeSamplePeriod();
+    bool sample_npe = obs::traceEnabled() && npe_period > 0 &&
+                      packetCount % npe_period == 0;
+    ScopedObserver npe_attach(fanout,
+                              sample_npe ? &npeSampler : nullptr);
 
     // Selective accounting: the observer is active only while the
     // application's handler runs.
@@ -241,6 +308,8 @@ PacketBench::processPacket(net::Packet &packet)
         FaultKind kind = dynamic_cast<const sim::BudgetError *>(&e)
                              ? FaultKind::BudgetExceeded
                              : FaultKind::SimFault;
+        span.arg("fault", faultKindName(kind));
+        span.arg("insts", stats.instCount);
         if (keep_original) {
             net::Packet repro = packet;
             repro.bytes = std::move(original);
@@ -264,6 +333,10 @@ PacketBench::processPacket(net::Packet &packet)
 
     outcome.verdict = result.stopCode;
     outcome.outInterface = result.stopArg;
+    span.arg("insts", outcome.stats.instCount);
+    span.arg("verdict", outcome.verdict == isa::SysCode::Send
+                            ? "send"
+                            : "drop");
     packetCount++;
 
     // Publish this packet into the run-wide telemetry.
@@ -295,8 +368,11 @@ std::vector<PacketOutcome>
 PacketBench::run(net::TraceSource &source, uint32_t max_packets,
                  net::TraceSink *sink)
 {
+    using clock = std::chrono::steady_clock;
     std::vector<PacketOutcome> outcomes;
     outcomes.reserve(max_packets);
+    auto window_start = clock::now();
+    uint64_t window_packets = packetCount;
     for (uint32_t i = 0; i < max_packets; i++) {
         auto packet = source.next();
         if (!packet)
@@ -304,16 +380,32 @@ PacketBench::run(net::TraceSource &source, uint32_t max_packets,
         outcomes.push_back(processPacket(*packet));
         if (sink && outcomes.back().verdict == isa::SysCode::Send)
             sink->write(*packet);
-        if (cfg.heartbeatPackets &&
-            packetCount % cfg.heartbeatPackets == 0)
-            PB_LOG(Info,
-                   "%s: %llu packets, %llu insts, %.1f sim-MIPS",
-                   app.name().c_str(),
-                   static_cast<unsigned long long>(packetCount),
-                   static_cast<unsigned long long>(myInsts),
-                   mySimNs ? static_cast<double>(myInsts) * 1e3 /
-                                 static_cast<double>(mySimNs)
-                           : 0.0);
+        if (!cfg.heartbeatMs)
+            continue;
+        auto now = clock::now();
+        auto window_ms =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                now - window_start)
+                .count();
+        if (window_ms < cfg.heartbeatMs)
+            continue;
+        // Rate over the heartbeat window, totals over the run.
+        double pps = static_cast<double>(packetCount -
+                                         window_packets) *
+                     1e3 / static_cast<double>(window_ms);
+        PB_LOG(Info,
+               "%s: %llu packets (%.0f pkt/s), %llu insts, "
+               "%.1f sim-MIPS, %llu faults",
+               app.name().c_str(),
+               static_cast<unsigned long long>(packetCount), pps,
+               static_cast<unsigned long long>(myInsts),
+               mySimNs ? static_cast<double>(myInsts) * 1e3 /
+                             static_cast<double>(mySimNs)
+                       : 0.0,
+               static_cast<unsigned long long>(
+                   faultsTotalCtr->value()));
+        window_start = now;
+        window_packets = packetCount;
     }
     return outcomes;
 }

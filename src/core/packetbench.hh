@@ -26,6 +26,7 @@
 #include "net/trace.hh"
 #include "obs/metrics.hh"
 #include "obs/profiler.hh"
+#include "obs/tracing.hh"
 #include "sim/accounting.hh"
 #include "sim/cpu.hh"
 #include "sim/timing.hh"
@@ -33,6 +34,12 @@
 
 namespace pb::core
 {
+
+/**
+ * Default heartbeat interval: PB_HEARTBEAT_MS from the environment
+ * (parsed once), 5000 ms when unset or malformed; 0 disables.
+ */
+uint32_t defaultHeartbeatMs();
 
 /** Framework configuration. */
 struct BenchConfig
@@ -78,10 +85,22 @@ struct BenchConfig
     net::TraceSink *quarantine = nullptr;
 
     /**
-     * Emit a PB_LOG(Info) heartbeat every N processed packets in
-     * run(); 0 disables.  Silent unless PB_LOG_LEVEL allows Info.
+     * Emit a PB_LOG(Info) heartbeat at most every this many
+     * milliseconds of wall time in run(); 0 disables.  Defaults to
+     * the PB_HEARTBEAT_MS environment variable (5000 when unset).
+     * The line carries packets, packets/sec over the heartbeat
+     * window, instructions, sim-MIPS, and the run-wide
+     * pb.faults.total count.  Silent unless PB_LOG_LEVEL allows
+     * Info.
      */
-    uint32_t heartbeatPackets = 10'000;
+    uint32_t heartbeatMs = defaultHeartbeatMs();
+
+    /**
+     * Engine index this instance simulates (annotates per-packet
+     * trace spans; MultiCoreBench numbers its engines 0..N-1, a
+     * lone PacketBench is engine 0).
+     */
+    uint32_t engineId = 0;
 
     /**
      * @name Multi-engine execution (core/multicore.hh).
@@ -181,6 +200,16 @@ class PacketBench
     net::AddressScrambler scrambler;
     uint32_t entry = 0;
     uint64_t packetCount = 0;
+
+    /**
+     * Sampled NPE32 event stream (obs/tracing.hh): attached to the
+     * fanout for exactly the packets selected by
+     * Tracer::npeSamplePeriod() while tracing is enabled.
+     */
+    obs::NpeTraceSampler npeSampler;
+
+    /** App name interned for trace-span annotation (stable ptr). */
+    const char *tracedAppName = nullptr;
 
     /**
      * Layer-3 extent of the previous packet in simulated packet

@@ -12,6 +12,7 @@
 #include "common/byteorder.hh"
 #include "common/logging.hh"
 #include "obs/metrics.hh"
+#include "obs/tracing.hh"
 
 namespace pb::net
 {
@@ -128,6 +129,7 @@ std::optional<Packet>
 PcapReader::next()
 {
     PB_SCOPED_TIMER("phase.trace_read_ns");
+    PB_TRACE_SPAN("net", "trace.read");
     for (;;) {
         uint8_t hdr[recordHeaderLen];
         ReadStatus st =

@@ -8,6 +8,7 @@
 #include "common/hash.hh"
 #include "net/ipv4.hh"
 #include "obs/metrics.hh"
+#include "obs/tracing.hh"
 
 namespace pb::net
 {
@@ -152,6 +153,7 @@ std::optional<Packet>
 SyntheticTrace::next()
 {
     PB_SCOPED_TIMER("phase.trace_read_ns");
+    PB_TRACE_SPAN("net", "trace.gen");
     if (emitted >= total)
         return std::nullopt;
     emitted++;

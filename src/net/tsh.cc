@@ -13,6 +13,7 @@
 #include "common/byteorder.hh"
 #include "net/ipv4.hh"
 #include "obs/metrics.hh"
+#include "obs/tracing.hh"
 
 namespace pb::net
 {
@@ -37,6 +38,7 @@ std::optional<Packet>
 TshReader::next()
 {
     PB_SCOPED_TIMER("phase.trace_read_ns");
+    PB_TRACE_SPAN("net", "trace.read");
     for (;;) {
         uint8_t rec[tshRecordLen];
         in.read(reinterpret_cast<char *>(rec), sizeof(rec));

@@ -6,6 +6,9 @@
 #include "metrics.hh"
 
 #include <bit>
+#include <cmath>
+#include <fstream>
+#include <ostream>
 
 #include "common/logging.hh"
 
@@ -32,7 +35,13 @@ namespace
 size_t
 bucketOf(uint64_t sample)
 {
-    return static_cast<size_t>(std::bit_width(sample));
+    // Power-of-two upper edges: 0 | 1 | 2 | (2,4] | (4,8] | ...
+    // bit_width(sample - 1) + 1 maps 2^k onto the bucket whose
+    // inclusive upper edge is 2^k (bucketing bit_width(sample)
+    // directly would push exact powers of two one bucket too high).
+    if (sample == 0)
+        return 0;
+    return static_cast<size_t>(std::bit_width(sample - 1)) + 1;
 }
 
 } // namespace
@@ -55,9 +64,9 @@ Histogram::bucketUpperBound(size_t index)
 {
     if (index == 0)
         return 0;
-    if (index >= 64)
-        return UINT64_MAX;
-    return (uint64_t{1} << index) - 1;
+    if (index >= 65)
+        return UINT64_MAX; // true edge 2^64 does not fit in uint64
+    return uint64_t{1} << (index - 1);
 }
 
 uint64_t
@@ -201,11 +210,86 @@ Registry::reset()
     }
 }
 
+namespace
+{
+
+/** Flatten a dotted metric name into [a-zA-Z0-9_:]. */
+std::string
+promName(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (char c : name) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_' || c == ':';
+        out.push_back(ok ? c : '_');
+    }
+    if (out.empty() || (out[0] >= '0' && out[0] <= '9'))
+        out.insert(out.begin(), '_');
+    return out;
+}
+
+/** Render a gauge value; Prometheus allows NaN and +/-Inf. */
+std::string
+promValue(double v)
+{
+    if (std::isnan(v))
+        return "NaN";
+    if (std::isinf(v))
+        return v > 0 ? "+Inf" : "-Inf";
+    return strprintf("%.17g", v);
+}
+
+} // namespace
+
+void
+Registry::writePrometheus(std::ostream &out) const
+{
+    for (const Entry &e : snapshot()) {
+        std::string name = promName(e.name);
+        out << "# TYPE " << name << " "
+            << metricKindName(e.kind) << "\n";
+        switch (e.kind) {
+          case MetricKind::Counter:
+            out << name << " " << e.counter << "\n";
+            break;
+          case MetricKind::Gauge:
+            out << name << " " << promValue(e.gauge) << "\n";
+            break;
+          case MetricKind::Histogram: {
+            // Prometheus histogram buckets are cumulative and end
+            // with +Inf; the snapshot's are per-bucket and trimmed.
+            uint64_t cumulative = 0;
+            for (size_t i = 0; i < e.hist.buckets.size(); i++) {
+                cumulative += e.hist.buckets[i];
+                out << name << "_bucket{le=\""
+                    << Histogram::bucketUpperBound(i) << "\"} "
+                    << cumulative << "\n";
+            }
+            out << name << "_bucket{le=\"+Inf\"} " << e.hist.count
+                << "\n";
+            out << name << "_sum " << e.hist.sum << "\n";
+            out << name << "_count " << e.hist.count << "\n";
+            break;
+          }
+        }
+    }
+}
+
 Registry &
 defaultRegistry()
 {
     static Registry registry;
     return registry;
+}
+
+void
+writePrometheusFile(const std::string &path, const Registry &registry)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot write metrics to '%s'", path.c_str());
+    registry.writePrometheus(out);
 }
 
 } // namespace pb::obs

@@ -29,6 +29,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -94,14 +95,20 @@ class Gauge
 /**
  * Log2-bucketed histogram of non-negative integer samples.
  *
- * Bucket 0 holds zeros; bucket i (i >= 1) holds samples whose bit
- * width is i, i.e. the range [2^(i-1), 2^i - 1].  65 buckets cover
- * the full uint64 domain, so observe() never saturates or clips.
+ * Bucket edges are exact powers of two, inclusive on the upper
+ * side: bucket 0 holds zeros, bucket 1 holds {1}, and bucket i
+ * (i >= 2) holds (2^(i-2), 2^(i-1)] — so a sample of exactly 2^k
+ * lands in the bucket whose upper edge is 2^k, not in the next
+ * decade up.  (An earlier revision bucketed by raw bit width, which
+ * put power-of-two samples one bucket too high and reported "le"
+ * edges of 2^i - 1.)  66 buckets cover the full uint64 domain, so
+ * observe() never saturates or clips; the last bucket's upper edge
+ * (2^64) is reported as UINT64_MAX.
  */
 class Histogram
 {
   public:
-    static constexpr size_t numBuckets = 65;
+    static constexpr size_t numBuckets = 66;
 
     /** Record one sample. */
     void observe(uint64_t sample);
@@ -173,6 +180,16 @@ class Registry
     /** Deterministic (name-sorted) copy of all metrics. */
     std::vector<Entry> snapshot() const;
 
+    /**
+     * Prometheus text exposition (version 0.0.4) of every metric:
+     * counters and gauges as single samples, histograms as
+     * cumulative `_bucket{le="..."}` series plus `_sum` and
+     * `_count`.  Dotted metric names are flattened to legal
+     * Prometheus names ("pb.faults.total" -> "pb_faults_total"),
+     * so scrapers see the registry without parsing JSON reports.
+     */
+    void writePrometheus(std::ostream &out) const;
+
     /** Number of registered metrics. */
     size_t size() const;
 
@@ -196,6 +213,13 @@ class Registry
 
 /** The process-global registry every layer publishes into. */
 Registry &defaultRegistry();
+
+/**
+ * Registry::writePrometheus() to @p path (fatal() when the file
+ * cannot be created) — the `--prom=FILE` bench flag lands here.
+ */
+void writePrometheusFile(const std::string &path,
+                         const Registry &registry);
 
 /**
  * Adds elapsed wall-clock nanoseconds to a counter when destroyed.

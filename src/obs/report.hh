@@ -22,7 +22,7 @@
  *     "histograms": {
  *       "pb.insts_per_packet": {
  *         "count": 1000, "sum": 204000, "min": 150, "max": 5100,
- *         "mean": 204.0, "p50": 255, "p99": 8191,
+ *         "mean": 204.0, "p50": 256, "p99": 8192,
  *         "buckets": [{"le": 0, "count": 0}, ...]
  *       }
  *     }

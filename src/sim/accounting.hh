@@ -14,6 +14,7 @@
 #ifndef PB_SIM_ACCOUNTING_HH
 #define PB_SIM_ACCOUNTING_HH
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <vector>
@@ -167,6 +168,18 @@ class FanoutObserver : public ExecObserver
   public:
     /** Attach another downstream observer. */
     void add(ExecObserver *observer) { sinks.push_back(observer); }
+
+    /**
+     * Detach @p observer (no-op when absent).  Lets the framework
+     * attach per-packet observers — e.g. the sampled NPE32 event
+     * tracer (obs/tracing.hh) — for exactly one packet's run.
+     */
+    void
+    remove(ExecObserver *observer)
+    {
+        sinks.erase(std::remove(sinks.begin(), sinks.end(), observer),
+                    sinks.end());
+    }
 
     void
     onInst(uint32_t addr, const isa::Inst &inst) override

@@ -39,11 +39,13 @@ TEST(Metrics, GaugeHoldsLastValue)
     EXPECT_EQ(g.value(), -1.25);
 }
 
-TEST(Metrics, HistogramBucketsByBitWidth)
+TEST(Metrics, HistogramBucketsByPowerOfTwo)
 {
     Registry reg;
     Histogram &h = reg.histogram("test.sizes");
-    // Bucket 0 holds zeros; bucket i holds [2^(i-1), 2^i - 1].
+    // Bucket 0 holds zeros, bucket 1 holds {1}, bucket i (i >= 2)
+    // holds (2^(i-2), 2^(i-1)] — exact powers of two sit on their
+    // own upper edge.
     h.observe(0);
     h.observe(1);
     h.observe(2);
@@ -59,8 +61,9 @@ TEST(Metrics, HistogramBucketsByBitWidth)
     ASSERT_EQ(snap.buckets.size(), 12u); // trimmed after bucket 11
     EXPECT_EQ(snap.buckets[0], 1u);      // 0
     EXPECT_EQ(snap.buckets[1], 1u);      // 1
-    EXPECT_EQ(snap.buckets[2], 2u);      // 2, 3
-    EXPECT_EQ(snap.buckets[11], 1u);     // 1024
+    EXPECT_EQ(snap.buckets[2], 1u);      // 2 (le=2)
+    EXPECT_EQ(snap.buckets[3], 1u);      // 3 (le=4)
+    EXPECT_EQ(snap.buckets[11], 1u);     // 1024 (le=1024)
 }
 
 TEST(Metrics, HistogramQuantiles)
@@ -68,16 +71,36 @@ TEST(Metrics, HistogramQuantiles)
     Registry reg;
     Histogram &h = reg.histogram("test.q");
     for (int i = 0; i < 99; i++)
-        h.observe(5); // bucket 3, upper bound 7
-    h.observe(1'000'000); // bucket 20, upper bound 2^20 - 1
+        h.observe(5); // bucket 4, upper bound 8
+    h.observe(1'000'000); // bucket 21, upper bound 2^20
 
     Histogram::Snapshot snap = h.snapshot();
-    EXPECT_EQ(snap.quantile(0.5), 7u);
-    EXPECT_EQ(snap.quantile(0.0), 7u);
-    EXPECT_EQ(snap.quantile(1.0), (1u << 20) - 1);
+    EXPECT_EQ(snap.quantile(0.5), 8u);
+    EXPECT_EQ(snap.quantile(0.0), 8u);
+    EXPECT_EQ(snap.quantile(1.0), 1u << 20);
 
     Histogram::Snapshot empty = reg.histogram("test.empty").snapshot();
     EXPECT_EQ(empty.quantile(0.5), 0u);
+}
+
+TEST(Metrics, HistogramPowerOfTwoBoundaries)
+{
+    // Regression: an earlier revision bucketed by raw bit width,
+    // which pushed a sample of exactly 2^k one bucket too high.
+    // Pin the edges: 2^k lands in the bucket whose inclusive upper
+    // bound is 2^k, and 2^k + 1 lands in the next one up.
+    Registry reg;
+    for (size_t k = 1; k < 63; k++) {
+        Histogram &h = reg.histogram("test.edge" + std::to_string(k));
+        uint64_t edge = uint64_t{1} << k;
+        h.observe(edge);
+        h.observe(edge + 1);
+        Histogram::Snapshot snap = h.snapshot();
+        ASSERT_EQ(snap.buckets.size(), k + 3);
+        EXPECT_EQ(snap.buckets[k + 1], 1u) << "2^" << k;
+        EXPECT_EQ(snap.buckets[k + 2], 1u) << "2^" << k << " + 1";
+        EXPECT_EQ(Histogram::bucketUpperBound(k + 1), edge);
+    }
 }
 
 TEST(Metrics, HistogramNeverSaturates)
@@ -95,9 +118,12 @@ TEST(Metrics, BucketUpperBounds)
 {
     EXPECT_EQ(Histogram::bucketUpperBound(0), 0u);
     EXPECT_EQ(Histogram::bucketUpperBound(1), 1u);
-    EXPECT_EQ(Histogram::bucketUpperBound(2), 3u);
-    EXPECT_EQ(Histogram::bucketUpperBound(10), 1023u);
-    EXPECT_EQ(Histogram::bucketUpperBound(64), UINT64_MAX);
+    EXPECT_EQ(Histogram::bucketUpperBound(2), 2u);
+    EXPECT_EQ(Histogram::bucketUpperBound(10), 512u);
+    EXPECT_EQ(Histogram::bucketUpperBound(64), uint64_t{1} << 63);
+    // The true edge of the last bucket is 2^64, clamped to
+    // UINT64_MAX because it does not fit.
+    EXPECT_EQ(Histogram::bucketUpperBound(65), UINT64_MAX);
 }
 
 TEST(Metrics, SnapshotIsSortedAndComplete)
