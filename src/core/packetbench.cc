@@ -62,6 +62,7 @@ PacketBench::PacketBench(Application &app_, BenchConfig cfg_)
     : app(app_), cpu(mem), scrambler(cfg_.scrambleKey)
 {
     cfg = cfg_;
+    cpu.setDispatchMode(cfg.dispatch);
     // init(): application builds its tables (unaccounted).
     isa::Program prog = app.setup(mem);
     cpu.loadProgram(prog);
@@ -101,6 +102,9 @@ PacketBench::PacketBench(Application &app_, BenchConfig cfg_)
     faultsQuarantinedCtr = &reg.counter("pb.faults.quarantined");
     simNsCtr = &reg.counter("phase.simulate_ns");
     mipsGauge = &reg.gauge("pb.sim_mips");
+    interpMipsGauge = &reg.gauge("sim.interp.mips");
+    interpBlocksGauge = &reg.gauge("sim.interp.blocks");
+    interpBlockLenGauge = &reg.gauge("sim.interp.block_len");
     instHist = &reg.histogram("pb.insts_per_packet");
     uniqueHist = &reg.histogram("pb.unique_insts_per_packet");
     if (cfg.timing)
@@ -162,6 +166,23 @@ PacketBench::publishUarchMetrics()
     uarchBranchRateGauge->set(uarch->predictor().mispredictRate());
 }
 
+void
+PacketBench::publishInterpMetrics()
+{
+    // Interpreter-level view of the same run: simulated MIPS plus the
+    // block-stepped loop's shape (straight-line runs entered and mean
+    // instructions per run).  blocks stays 0 in Reference mode.
+    if (mySimNs > 0)
+        interpMipsGauge->set(static_cast<double>(myInsts) * 1e3 /
+                             static_cast<double>(mySimNs));
+    uint64_t blocks = cpu.totalBlockCount();
+    interpBlocksGauge->set(static_cast<double>(blocks));
+    interpBlockLenGauge->set(
+        blocks ? static_cast<double>(cpu.totalInstCount()) /
+                     static_cast<double>(blocks)
+               : 0.0);
+}
+
 PacketOutcome
 PacketBench::recordFault(const net::Packet &capture, FaultKind kind,
                          std::string message, sim::PacketStats stats,
@@ -202,6 +223,7 @@ PacketBench::recordFault(const net::Packet &capture, FaultKind kind,
     if (mySimNs > 0)
         mipsGauge->set(static_cast<double>(myInsts) * 1e3 /
                        static_cast<double>(mySimNs));
+    publishInterpMetrics();
     if (uarch)
         publishUarchMetrics();
 
@@ -287,6 +309,7 @@ PacketBench::processPacket(net::Packet &packet)
     auto sim_start = std::chrono::steady_clock::now();
     sim::RunResult result{};
     try {
+        PB_SCOPED_TIMER("sim.interp.run_ns");
         result = cpu.run(entry, cfg.instBudget);
     } catch (const sim::SimError &e) {
         // Leave the engine exactly as a completed packet would:
@@ -354,6 +377,7 @@ PacketBench::processPacket(net::Packet &packet)
     if (mySimNs > 0)
         mipsGauge->set(static_cast<double>(myInsts) * 1e3 /
                        static_cast<double>(mySimNs));
+    publishInterpMetrics();
     if (uarch)
         publishUarchMetrics();
 

@@ -51,6 +51,14 @@ struct BenchConfig
     uint64_t instBudget = 10'000'000;
 
     /**
+     * Which interpreter loop runs the handler (sim/cpu.hh).  Blocked
+     * is the production hot path; Reference is the per-instruction
+     * loop, bit-identical but slower — for differential testing and
+     * A/B measurement (bench_micro_interp).
+     */
+    sim::DispatchMode dispatch = sim::DispatchMode::Blocked;
+
+    /**
      * Scramble IP addresses before processing (the paper's
      * preprocessing for NLANR traces).
      */
@@ -182,6 +190,8 @@ class PacketBench
     const sim::PipelineTimer *timing() const { return timer.get(); }
     const obs::HotSpotProfiler *profiler() const { return prof.get(); }
     sim::Memory &memory() { return mem; }
+    sim::Cpu &core() { return cpu; }
+    const sim::Cpu &core() const { return cpu; }
     const isa::Program &program() const { return cpu.program(); }
     uint64_t packetsProcessed() const { return packetCount; }
     /** @} */
@@ -234,6 +244,7 @@ class PacketBench
 
     /** @name Published telemetry (obs/metrics.hh). @{ */
     void publishUarchMetrics();
+    void publishInterpMetrics();
 
     obs::Counter *packetsCtr;
     obs::Counter *instsCtr;
@@ -246,6 +257,9 @@ class PacketBench
     obs::Counter *faultsQuarantinedCtr;
     obs::Counter *simNsCtr;
     obs::Gauge *mipsGauge;
+    obs::Gauge *interpMipsGauge;
+    obs::Gauge *interpBlocksGauge;
+    obs::Gauge *interpBlockLenGauge;
     obs::Histogram *instHist;
     obs::Histogram *uniqueHist;
     obs::Histogram *cycleHist = nullptr;

@@ -40,6 +40,20 @@ uint32_t encode(const Inst &inst);
 /** Decode a 32-bit word.  Unknown opcodes yield op == Op::INVALID. */
 Inst decode(uint32_t word);
 
+/**
+ * True when @p op transfers control: branches, jumps, and SYS.
+ * Shared by static basic-block discovery (sim/bblock.cc) and the
+ * interpreter's block-stepped dispatch (sim/cpu.cc), so both agree
+ * on what ends a straight-line run.
+ */
+inline bool
+isControlFlow(Op op)
+{
+    const Format fmt = opInfo(op).format;
+    return fmt == Format::Branch || fmt == Format::Jump ||
+           fmt == Format::JumpReg || op == Op::SYS;
+}
+
 /** True if @p imm fits in a signed 16-bit immediate. */
 constexpr bool
 fitsSimm16(int64_t imm)

@@ -19,7 +19,7 @@ PacketRecorder::PacketRecorder(const isa::Program &prog,
 {
     wordEpoch.assign(progWords, 0);
     blockEpoch.assign(blockMap.numBlocks(), 0);
-    textTouch.init(layout::textBase, layout::textSize);
+    wordTouched.assign(progWords, false);
     dataTouch.init(layout::dataBase, layout::dataSize);
     packetTouch.init(layout::packetBase, layout::packetSize);
     stackTouch.init(layout::stackBase, layout::stackSize);
@@ -44,72 +44,12 @@ PacketRecorder::endPacket()
     return std::move(current);
 }
 
-void
-PacketRecorder::onInst(uint32_t addr, const isa::Inst &inst)
-{
-    current.instCount++;
-    totalInsts_++;
-    classCounts_[static_cast<size_t>(isa::opInfo(inst.op).cls)]++;
-    textTouch.mark(addr, 4);
-
-    uint32_t word = (addr - progBase) / 4;
-    if (word < progWords && wordEpoch[word] != epoch) {
-        wordEpoch[word] = epoch;
-        current.uniqueInstCount++;
-        if (cfg.blockSets) {
-            uint32_t block = blockMap.blockOf(addr);
-            if (blockEpoch[block] != epoch) {
-                blockEpoch[block] = epoch;
-                current.blocks.push_back(block);
-            }
-        }
-    }
-    if (cfg.instTrace)
-        current.instTrace.push_back(addr);
-}
-
-void
-PacketRecorder::onMemAccess(const MemAccessEvent &event)
-{
-    switch (event.region) {
-      case MemRegion::Packet:
-        if (event.isStore)
-            current.packetWrites++;
-        else
-            current.packetReads++;
-        packetTouch.mark(event.addr, event.size);
-        break;
-      case MemRegion::Data:
-        if (event.isStore)
-            current.nonPacketWrites++;
-        else
-            current.nonPacketReads++;
-        dataTouch.mark(event.addr, event.size);
-        break;
-      case MemRegion::Stack:
-        if (event.isStore)
-            current.nonPacketWrites++;
-        else
-            current.nonPacketReads++;
-        stackTouch.mark(event.addr, event.size);
-        break;
-      case MemRegion::Text:
-      case MemRegion::Unmapped:
-        // Reads of constants embedded in text count as non-packet.
-        if (event.isStore)
-            current.nonPacketWrites++;
-        else
-            current.nonPacketReads++;
-        break;
-    }
-    if (cfg.memTrace)
-        current.memTrace.push_back({current.instCount, event});
-}
-
 uint64_t
 PacketRecorder::instMemoryBytes() const
 {
-    return textTouch.count;
+    // Fetches are aligned 4-byte spans, so distinct executed words
+    // map one-to-one onto touched instruction bytes.
+    return wordsTouched_ * 4;
 }
 
 uint64_t

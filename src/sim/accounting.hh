@@ -77,7 +77,7 @@ constexpr size_t numInstClasses =
  * ExecObserver that produces PacketStats per packet plus run-level
  * aggregates (memory coverage, instruction mix).
  */
-class PacketRecorder : public ExecObserver
+class PacketRecorder final : public ExecObserver
 {
   public:
     PacketRecorder(const isa::Program &prog, const BlockMap &blocks,
@@ -89,8 +89,81 @@ class PacketRecorder : public ExecObserver
     /** Finish the current packet and return its statistics. */
     PacketStats endPacket();
 
-    void onInst(uint32_t addr, const isa::Inst &inst) override;
-    void onMemAccess(const MemAccessEvent &event) override;
+    // Defined inline: the CPU's block-stepped loop instantiates a
+    // devirtualized template over the recorder, and these two are its
+    // per-event hot path.
+    void
+    onInst(uint32_t addr, const isa::Inst &inst) override
+    {
+        current.instCount++;
+        totalInsts_++;
+        classCounts_[static_cast<size_t>(isa::opInfo(inst.op).cls)]++;
+
+        uint32_t word = (addr - progBase) / 4;
+        if (word < progWords && wordEpoch[word] != epoch) {
+            wordEpoch[word] = epoch;
+            current.uniqueInstCount++;
+            // A word's first-ever execution is always also its first
+            // execution within some packet, so the run-level
+            // instruction footprint only needs checking on the
+            // per-packet-unique path; the per-instruction hot path
+            // pays nothing for it.
+            if (!wordTouched[word]) {
+                wordTouched[word] = true;
+                wordsTouched_++;
+            }
+            if (cfg.blockSets) {
+                uint32_t block = blockMap.blockOf(addr);
+                if (blockEpoch[block] != epoch) {
+                    blockEpoch[block] = epoch;
+                    current.blocks.push_back(block);
+                }
+            }
+        }
+        if (cfg.instTrace)
+            current.instTrace.push_back(addr);
+    }
+
+    void
+    onMemAccess(const MemAccessEvent &event) override
+    {
+        switch (event.region) {
+          case MemRegion::Packet:
+            if (event.isStore)
+                current.packetWrites++;
+            else
+                current.packetReads++;
+            packetTouch.mark(event.addr, event.size);
+            break;
+          case MemRegion::Data:
+            if (event.isStore)
+                current.nonPacketWrites++;
+            else
+                current.nonPacketReads++;
+            dataTouch.mark(event.addr, event.size);
+            break;
+          case MemRegion::Stack:
+            if (event.isStore)
+                current.nonPacketWrites++;
+            else
+                current.nonPacketReads++;
+            stackTouch.mark(event.addr, event.size);
+            break;
+          case MemRegion::Text:
+          case MemRegion::Unmapped:
+            // Reads of constants embedded in text count as
+            // non-packet.
+            if (event.isStore)
+                current.nonPacketWrites++;
+            else
+                current.nonPacketReads++;
+            break;
+        }
+        if (cfg.memTrace)
+            current.memTrace.push_back({current.instCount, event});
+    }
+
+    PacketRecorder *asRecorder() override { return this; }
 
     /**
      * @name Run-level aggregates (across all packets so far).
@@ -150,13 +223,16 @@ class PacketRecorder : public ExecObserver
     std::vector<uint32_t> wordEpoch;
     std::vector<uint32_t> blockEpoch;
 
+    /** Program words executed at least once over the whole run. */
+    std::vector<bool> wordTouched;
+    uint64_t wordsTouched_ = 0;
+
     PacketStats current;
     bool inPacket = false;
 
     // Run-level aggregates.
     std::array<uint64_t, numInstClasses> classCounts_{};
     uint64_t totalInsts_ = 0;
-    TouchMap textTouch;
     TouchMap dataTouch;
     TouchMap packetTouch;
     TouchMap stackTouch;
@@ -200,6 +276,17 @@ class FanoutObserver : public ExecObserver
     {
         for (auto *sink : sinks)
             sink->onBranch(addr, taken, target);
+    }
+
+    /**
+     * With exactly one sink attached, hand the CPU that sink directly
+     * so every event costs one virtual call instead of two.  With any
+     * other sink count the fan-out itself stays in the path.
+     */
+    ExecObserver *
+    soloSink() override
+    {
+        return sinks.size() == 1 ? sinks[0]->soloSink() : this;
     }
 
   private:

@@ -33,12 +33,9 @@ BlockMap::BlockMap(const isa::Program &prog) : baseAddr(prog.baseAddr)
 
     for (size_t i = 0; i < n; i++) {
         isa::Inst inst = isa::decode(prog.words[i]);
-        const Format fmt = isa::opInfo(inst.op).format;
-        bool is_control = fmt == Format::Branch || fmt == Format::Jump ||
-                          fmt == Format::JumpReg ||
-                          inst.op == Op::SYS;
-        if (!is_control)
+        if (!isa::isControlFlow(inst.op))
             continue;
+        const Format fmt = isa::opInfo(inst.op).format;
         // The instruction after any control-flow instruction starts a
         // new block.
         if (i + 1 < n)

@@ -23,7 +23,7 @@ Debugger::stepOne()
     if (done)
         return false;
     try {
-        RunResult result = cpu.runSlice(pc_, 1);
+        RunResult result = cpu.runSliceRef(pc_, 1);
         stepCount += result.instCount;
         if (result.hitBudget) {
             pc_ = result.nextPc;

@@ -1,13 +1,14 @@
 /**
  * @file
- * Simulated memory implementation.
+ * Simulated memory implementation: backing storage, bulk accessors,
+ * and the cold error paths of the O(1) resolver (the hot resolve
+ * itself is inline in memory.hh).
  */
 
 #include "memory.hh"
 
+#include <algorithm>
 #include <cstring>
-
-#include "common/bitops.hh"
 
 namespace pb::sim
 {
@@ -32,119 +33,34 @@ memRegionName(MemRegion region)
 
 Memory::Memory()
 {
-    using namespace layout;
-    regions.push_back(
-        {textBase, textSize, MemRegion::Text,
-         std::vector<uint8_t>(textSize, 0)});
-    regions.push_back(
-        {dataBase, dataSize, MemRegion::Data,
-         std::vector<uint8_t>(dataSize, 0)});
-    regions.push_back(
-        {packetBase, packetSize, MemRegion::Packet,
-         std::vector<uint8_t>(packetSize, 0)});
-    regions.push_back(
-        {stackBase, stackSize, MemRegion::Stack,
-         std::vector<uint8_t>(stackSize, 0)});
+    for (unsigned r = 0; r < layout::numRegions; r++) {
+        store[r].assign(layout::regionSize[r], 0);
+        dirtyLo[r] = layout::regionSize[r];
+        dirtyHi[r] = 0;
+    }
 }
 
-MemRegion
-Memory::classify(uint32_t addr) const
+void
+Memory::throwUnmapped(uint32_t addr, uint32_t len)
 {
-    for (const auto &region : regions) {
-        if (region.contains(addr))
-            return region.kind;
-    }
-    return MemRegion::Unmapped;
-}
-
-const Memory::Region &
-Memory::find(uint32_t addr, uint32_t len) const
-{
-    for (const auto &region : regions) {
-        if (region.contains(addr)) {
-            if (len > region.size - (addr - region.base)) {
-                throw MemoryError(strprintf(
-                    "access [0x%x, +%u) crosses the end of the %s region",
-                    addr, len,
-                    std::string(memRegionName(region.kind)).c_str()));
-            }
-            return region;
-        }
-    }
     throw MemoryError(
         strprintf("access to unmapped address 0x%x (%u bytes)", addr,
                   len));
 }
 
-Memory::Region &
-Memory::find(uint32_t addr, uint32_t len)
+void
+Memory::throwCrossesEnd(uint32_t addr, uint32_t len, MemRegion region)
 {
-    return const_cast<Region &>(
-        static_cast<const Memory *>(this)->find(addr, len));
-}
-
-uint8_t
-Memory::read8(uint32_t addr) const
-{
-    const Region &region = find(addr, 1);
-    return region.bytes[addr - region.base];
-}
-
-uint16_t
-Memory::read16(uint32_t addr) const
-{
-    if (!isAligned(addr, 2))
-        throw AlignmentError(
-            strprintf("misaligned 16-bit read at 0x%x", addr));
-    const Region &region = find(addr, 2);
-    const uint8_t *p = &region.bytes[addr - region.base];
-    return static_cast<uint16_t>(p[0] | (p[1] << 8));
-}
-
-uint32_t
-Memory::read32(uint32_t addr) const
-{
-    if (!isAligned(addr, 4))
-        throw AlignmentError(
-            strprintf("misaligned 32-bit read at 0x%x", addr));
-    const Region &region = find(addr, 4);
-    const uint8_t *p = &region.bytes[addr - region.base];
-    return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
-           (static_cast<uint32_t>(p[2]) << 16) |
-           (static_cast<uint32_t>(p[3]) << 24);
+    throw MemoryError(strprintf(
+        "access [0x%x, +%u) crosses the end of the %s region", addr,
+        len, std::string(memRegionName(region)).c_str()));
 }
 
 void
-Memory::write8(uint32_t addr, uint8_t value)
+Memory::throwMisaligned(const char *what, uint32_t addr)
 {
-    Region &region = find(addr, 1);
-    region.bytes[addr - region.base] = value;
-}
-
-void
-Memory::write16(uint32_t addr, uint16_t value)
-{
-    if (!isAligned(addr, 2))
-        throw AlignmentError(
-            strprintf("misaligned 16-bit write at 0x%x", addr));
-    Region &region = find(addr, 2);
-    uint8_t *p = &region.bytes[addr - region.base];
-    p[0] = static_cast<uint8_t>(value);
-    p[1] = static_cast<uint8_t>(value >> 8);
-}
-
-void
-Memory::write32(uint32_t addr, uint32_t value)
-{
-    if (!isAligned(addr, 4))
-        throw AlignmentError(
-            strprintf("misaligned 32-bit write at 0x%x", addr));
-    Region &region = find(addr, 4);
-    uint8_t *p = &region.bytes[addr - region.base];
-    p[0] = static_cast<uint8_t>(value);
-    p[1] = static_cast<uint8_t>(value >> 8);
-    p[2] = static_cast<uint8_t>(value >> 16);
-    p[3] = static_cast<uint8_t>(value >> 24);
+    throw AlignmentError(
+        strprintf("misaligned %s at 0x%x", what, addr));
 }
 
 void
@@ -152,8 +68,7 @@ Memory::writeBlock(uint32_t addr, const uint8_t *data, uint32_t len)
 {
     if (len == 0)
         return;
-    Region &region = find(addr, len);
-    std::memcpy(&region.bytes[addr - region.base], data, len);
+    std::memcpy(writable(addr, len).ptr, data, len);
 }
 
 void
@@ -161,8 +76,7 @@ Memory::readBlock(uint32_t addr, uint8_t *data, uint32_t len) const
 {
     if (len == 0)
         return;
-    const Region &region = find(addr, len);
-    std::memcpy(data, &region.bytes[addr - region.base], len);
+    std::memcpy(data, readable(addr, len).ptr, len);
 }
 
 void
@@ -170,15 +84,19 @@ Memory::fill(uint32_t addr, uint32_t len, uint8_t value)
 {
     if (len == 0)
         return;
-    Region &region = find(addr, len);
-    std::memset(&region.bytes[addr - region.base], value, len);
+    std::memset(writable(addr, len).ptr, value, len);
 }
 
 void
 Memory::reset()
 {
-    for (auto &region : regions)
-        std::fill(region.bytes.begin(), region.bytes.end(), 0);
+    for (unsigned r = 0; r < layout::numRegions; r++) {
+        if (dirtyLo[r] < dirtyHi[r])
+            std::memset(store[r].data() + dirtyLo[r], 0,
+                        dirtyHi[r] - dirtyLo[r]);
+        dirtyLo[r] = layout::regionSize[r];
+        dirtyHi[r] = 0;
+    }
 }
 
 } // namespace pb::sim

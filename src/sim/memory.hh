@@ -10,14 +10,25 @@
  *    *not* accounted — the paper's selective accounting).
  *
  * Memory itself is passive; accounting is done by the CPU's observer.
+ *
+ * Address resolution is O(1): the layout is fixed (sim/memmap.hh), so
+ * a page-granular table plus one range check turns an address into a
+ * host pointer and region kind in a single step — no region-list
+ * scan, and the CPU classifies each access exactly once (the region
+ * rides along with the resolved pointer instead of being recomputed
+ * for the observer).
  */
 
 #ifndef PB_SIM_MEMORY_HH
 #define PB_SIM_MEMORY_HH
 
+#include <bit>
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
+#include "common/bitops.hh"
+#include "common/byteorder.hh"
 #include "sim/memmap.hh"
 #include "sim/simerror.hh"
 
@@ -28,6 +39,20 @@ namespace pb::sim
 class Memory
 {
   public:
+    /** A resolved read-only view of [addr, addr+len). */
+    struct ConstRef
+    {
+        const uint8_t *ptr;
+        MemRegion region;
+    };
+
+    /** A resolved writable view of [addr, addr+len). */
+    struct Ref
+    {
+        uint8_t *ptr;
+        MemRegion region;
+    };
+
     /** Create memory with the default PacketBench layout. */
     Memory();
 
@@ -36,7 +61,49 @@ class Memory
      * outside every region (the caller decides whether that is an
      * error).
      */
-    MemRegion classify(uint32_t addr) const;
+    MemRegion classify(uint32_t addr) const { return classifyAddr(addr); }
+
+    /**
+     * Resolve [addr, addr+len) for reading: one page-table load, one
+     * range check.  @throws MemoryError when the range is unmapped or
+     * crosses the end of its region.
+     */
+    ConstRef
+    readable(uint32_t addr, uint32_t len) const
+    {
+        unsigned idx = layout::pageRegionIndex(addr);
+        if (idx >= layout::numRegions) [[unlikely]]
+            throwUnmapped(addr, len);
+        uint32_t off = addr - layout::regionBase[idx];
+        if (off >= layout::regionSize[idx]) [[unlikely]]
+            throwUnmapped(addr, len);
+        if (len > layout::regionSize[idx] - off) [[unlikely]]
+            throwCrossesEnd(addr, len, static_cast<MemRegion>(idx));
+        return {store[idx].data() + off, static_cast<MemRegion>(idx)};
+    }
+
+    /**
+     * Resolve [addr, addr+len) for writing.  Same checks as
+     * readable(), and additionally widens the region's dirty extent
+     * so reset() can re-zero only bytes that were actually written.
+     */
+    Ref
+    writable(uint32_t addr, uint32_t len)
+    {
+        unsigned idx = layout::pageRegionIndex(addr);
+        if (idx >= layout::numRegions) [[unlikely]]
+            throwUnmapped(addr, len);
+        uint32_t off = addr - layout::regionBase[idx];
+        if (off >= layout::regionSize[idx]) [[unlikely]]
+            throwUnmapped(addr, len);
+        if (len > layout::regionSize[idx] - off) [[unlikely]]
+            throwCrossesEnd(addr, len, static_cast<MemRegion>(idx));
+        if (off < dirtyLo[idx])
+            dirtyLo[idx] = off;
+        if (off + len > dirtyHi[idx])
+            dirtyHi[idx] = off + len;
+        return {store[idx].data() + off, static_cast<MemRegion>(idx)};
+    }
 
     /**
      * @name Simulated-width accessors.
@@ -44,15 +111,109 @@ class Memory
      * alignment.  Multi-byte values use little-endian byte order (the
      * NPE32 core is little-endian, like the ARM target the paper
      * used; network-order fields are handled explicitly by
-     * application code, as on the real hardware).
+     * application code, as on the real hardware).  The overloads with
+     * a MemRegion out-parameter report which region was hit, so
+     * callers that also classify (the CPU's observer path) resolve
+     * the address exactly once.
      * @{
      */
-    uint8_t read8(uint32_t addr) const;
-    uint16_t read16(uint32_t addr) const;
-    uint32_t read32(uint32_t addr) const;
-    void write8(uint32_t addr, uint8_t value);
-    void write16(uint32_t addr, uint16_t value);
-    void write32(uint32_t addr, uint32_t value);
+    uint8_t
+    read8(uint32_t addr, MemRegion &region) const
+    {
+        ConstRef ref = readable(addr, 1);
+        region = ref.region;
+        return *ref.ptr;
+    }
+
+    uint16_t
+    read16(uint32_t addr, MemRegion &region) const
+    {
+        if (!isAligned(addr, 2)) [[unlikely]]
+            throwMisaligned("16-bit read", addr);
+        ConstRef ref = readable(addr, 2);
+        region = ref.region;
+        return loadWord<uint16_t>(ref.ptr);
+    }
+
+    uint32_t
+    read32(uint32_t addr, MemRegion &region) const
+    {
+        if (!isAligned(addr, 4)) [[unlikely]]
+            throwMisaligned("32-bit read", addr);
+        ConstRef ref = readable(addr, 4);
+        region = ref.region;
+        return loadWord<uint32_t>(ref.ptr);
+    }
+
+    void
+    write8(uint32_t addr, uint8_t value, MemRegion &region)
+    {
+        Ref ref = writable(addr, 1);
+        region = ref.region;
+        *ref.ptr = value;
+    }
+
+    void
+    write16(uint32_t addr, uint16_t value, MemRegion &region)
+    {
+        if (!isAligned(addr, 2)) [[unlikely]]
+            throwMisaligned("16-bit write", addr);
+        Ref ref = writable(addr, 2);
+        region = ref.region;
+        storeWord(ref.ptr, value);
+    }
+
+    void
+    write32(uint32_t addr, uint32_t value, MemRegion &region)
+    {
+        if (!isAligned(addr, 4)) [[unlikely]]
+            throwMisaligned("32-bit write", addr);
+        Ref ref = writable(addr, 4);
+        region = ref.region;
+        storeWord(ref.ptr, value);
+    }
+
+    uint8_t
+    read8(uint32_t addr) const
+    {
+        MemRegion r;
+        return read8(addr, r);
+    }
+
+    uint16_t
+    read16(uint32_t addr) const
+    {
+        MemRegion r;
+        return read16(addr, r);
+    }
+
+    uint32_t
+    read32(uint32_t addr) const
+    {
+        MemRegion r;
+        return read32(addr, r);
+    }
+
+    void
+    write8(uint32_t addr, uint8_t value)
+    {
+        MemRegion r;
+        write8(addr, value, r);
+    }
+
+    void
+    write16(uint32_t addr, uint16_t value)
+    {
+        MemRegion r;
+        write16(addr, value, r);
+    }
+
+    void
+    write32(uint32_t addr, uint32_t value)
+    {
+        MemRegion r;
+        write32(addr, value, r);
+    }
     /** @} */
 
     /** Bulk copy into simulated memory (host-side, unaccounted). */
@@ -64,29 +225,71 @@ class Memory
     /** Zero-fill a byte range. */
     void fill(uint32_t addr, uint32_t len, uint8_t value = 0);
 
-    /** Zero all regions (fresh run). */
+    /**
+     * Zero all regions (fresh run).  Cost is proportional to the
+     * bytes actually written since construction / the last reset, not
+     * to the total layout size: each region tracks its dirty extent
+     * and only that slice is re-zeroed.
+     */
     void reset();
 
-  private:
-    struct Region
+    /**
+     * Dirty byte extent [lo, hi) of @p region as offsets from its
+     * base; lo >= hi means the region is clean.  Exposed for tests
+     * and telemetry.
+     */
+    std::pair<uint32_t, uint32_t>
+    dirtyExtent(MemRegion region) const
     {
-        uint32_t base;
-        uint32_t size;
-        MemRegion kind;
-        std::vector<uint8_t> bytes;
+        unsigned idx = static_cast<unsigned>(region);
+        return {dirtyLo[idx], dirtyHi[idx]};
+    }
 
-        bool
-        contains(uint32_t addr) const
-        {
-            return addr - base < size;
+  private:
+    /**
+     * Host-endian word access: one memcpy, byte-swapped only on a
+     * big-endian host (NPE32 memory is little-endian).
+     */
+    template <typename T>
+    static T
+    loadWord(const uint8_t *p)
+    {
+        T v;
+        std::memcpy(&v, p, sizeof(T));
+        if constexpr (std::endian::native == std::endian::big) {
+            if constexpr (sizeof(T) == 2)
+                v = bswap16(v);
+            else
+                v = bswap32(v);
         }
-    };
+        return v;
+    }
 
-    /** Find the region containing [addr, addr+len); throws if none. */
-    const Region &find(uint32_t addr, uint32_t len) const;
-    Region &find(uint32_t addr, uint32_t len);
+    template <typename T>
+    static void
+    storeWord(uint8_t *p, T v)
+    {
+        if constexpr (std::endian::native == std::endian::big) {
+            if constexpr (sizeof(T) == 2)
+                v = bswap16(v);
+            else
+                v = bswap32(v);
+        }
+        std::memcpy(p, &v, sizeof(T));
+    }
 
-    std::vector<Region> regions;
+    [[noreturn]] static void throwUnmapped(uint32_t addr, uint32_t len);
+    [[noreturn]] static void throwCrossesEnd(uint32_t addr, uint32_t len,
+                                             MemRegion region);
+    [[noreturn]] static void throwMisaligned(const char *what,
+                                             uint32_t addr);
+
+    /** Backing bytes, indexed by MemRegion value (Text..Stack). */
+    std::vector<uint8_t> store[layout::numRegions];
+
+    /** Dirty extent per region, as [lo, hi) offsets from the base. */
+    uint32_t dirtyLo[layout::numRegions];
+    uint32_t dirtyHi[layout::numRegions];
 };
 
 } // namespace pb::sim

@@ -90,7 +90,7 @@ Packet
 pointerPacket(uint32_t addr)
 {
     Packet packet;
-    packet.bytes.resize(40, 0);
+    packet.bytes.assign(40, 0);
     storeLe32(packet.bytes.data(), addr);
     packet.wireLen = 40;
     return packet;
