@@ -16,6 +16,11 @@
  *    (obs/tracing.hh; loads in Perfetto or chrome://tracing).
  *    Tracing records for the whole body; PB_TRACE_CAP and
  *    PB_TRACE_SAMPLE tune ring capacity and NPE32 sampling.
+ *  - `--stats=FILE`: live NDJSON telemetry stream (obs/stats.hh,
+ *    schema packetbench.stats.v1) appended every PB_STATS_MS
+ *    milliseconds while the body runs; combined with `--prom`, the
+ *    Prometheus snapshot is also rewritten in place on every tick
+ *    so scrapers see live values mid-run.
  */
 
 #ifndef PB_BENCH_BENCH_UTIL_HH
@@ -31,6 +36,7 @@
 #include "common/strutil.hh"
 #include "obs/metrics.hh"
 #include "obs/report.hh"
+#include "obs/stats.hh"
 #include "obs/tracing.hh"
 
 namespace pb::bench
@@ -109,6 +115,13 @@ promArg(int argc, char **argv)
     return fileArg(argc, argv, "prom");
 }
 
+/** Parse `--stats=FILE` (live NDJSON telemetry stream). */
+inline std::optional<std::string>
+statsArg(int argc, char **argv)
+{
+    return fileArg(argc, argv, "stats");
+}
+
 /** Print a section header for one experiment. */
 inline void
 banner(const std::string &title, const std::string &paper_note)
@@ -128,6 +141,8 @@ banner(const std::string &title, const std::string &paper_note)
  * registry plus run metadata as JSON into FILE, `--prom=FILE` writes
  * the registry in Prometheus text format, and `--trace=FILE` records
  * the body under the event tracer and writes Chrome trace JSON.
+ * `--stats=FILE` streams live NDJSON telemetry while the body runs
+ * (one record per PB_STATS_MS tick plus a final one at stop).
  */
 template <typename Fn>
 int
@@ -139,8 +154,23 @@ benchMain(int argc, char **argv, Fn &&body)
             obs::Tracer::instance().configureFromEnv();
             obs::Tracer::instance().start();
         }
+        auto stats_path = statsArg(argc, argv);
+        obs::StatsPump pump;
+        if (stats_path) {
+            // With --prom too, the pump rewrites the Prometheus file
+            // on every tick so scrapers see live values; the final
+            // end-of-run snapshot below still runs last.
+            if (auto prom_path = promArg(argc, argv))
+                pump.setPromPath(*prom_path);
+            pump.start(*stats_path, obs::StatsPump::defaultIntervalMs());
+        }
         auto start = std::chrono::steady_clock::now();
         body();
+        if (stats_path) {
+            pump.stop();
+            std::fprintf(stderr, "stats written to %s\n",
+                         stats_path->c_str());
+        }
         if (trace_path) {
             obs::Tracer::instance().stop();
             obs::Tracer::instance().writeJsonFile(*trace_path);

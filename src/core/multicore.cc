@@ -16,6 +16,7 @@
 #include "common/spscqueue.hh"
 #include "net/ipv4.hh"
 #include "obs/metrics.hh"
+#include "obs/stats.hh"
 #include "obs/tracing.hh"
 
 namespace pb::core
@@ -68,14 +69,8 @@ MultiCoreBench::dispatchIndex(const net::Packet &packet)
     // engine.  The dispatch hash is independent of the application's
     // own bucket hash to avoid correlated imbalance.
     net::FiveTuple tuple;
-    if (parseFiveTuple(packet, tuple)) {
-        uint32_t ports =
-            (static_cast<uint32_t>(tuple.srcPort) << 16) |
-            tuple.dstPort;
-        uint32_t h = mix32(mix32(tuple.src, tuple.dst),
-                           mix32(ports, tuple.proto));
-        return h % numEngines();
-    }
+    if (parseFiveTuple(packet, tuple))
+        return net::flowHash(tuple) % numEngines();
     // No 5-tuple (non-IPv4, truncated): round-robin instead of
     // pinning everything to engine 0, which would skew mc.imbalance.
     PB_COUNTER("mc.dispatch.no_tuple");
@@ -195,6 +190,15 @@ MultiCoreBench::runParallel(net::TraceSource &source,
             queue_names.push_back(
                 tracer.intern(strprintf("mc.queue%u", e)));
     }
+    // Queue-occupancy sampling for the live telemetry plane: the
+    // dispatcher publishes each queue's depth (in batches) after
+    // every hand-off, so the stats pump reports how far each engine
+    // is behind its feed.
+    std::vector<obs::EngineTelemetry *> telem;
+    telem.reserve(n);
+    for (uint32_t e = 0; e < n; e++)
+        telem.push_back(&obs::Telemetry::instance().engine(e));
+
     std::vector<Batch> pending(n);
     for (auto &batch : pending)
         batch.reserve(batch_size);
@@ -204,6 +208,8 @@ MultiCoreBench::runParallel(net::TraceSource &source,
         span.arg("batch", static_cast<uint64_t>(pending[e].size()));
         queues[e]->push(std::move(pending[e]));
         batches_ctr.add(1);
+        telem[e]->queueDepth.store(queues[e]->size(),
+                                   std::memory_order_relaxed);
         if (obs::traceEnabled())
             obs::traceCounter("mc", queue_names[e],
                               queues[e]->size());
@@ -230,6 +236,10 @@ MultiCoreBench::runParallel(net::TraceSource &source,
     }
     for (auto &worker : workers)
         worker.join();
+    // Drained: don't leave the last sampled depth dangling in the
+    // live view after the run ends.
+    for (uint32_t e = 0; e < n; e++)
+        telem[e]->queueDepth.store(0, std::memory_order_relaxed);
     if (first_error)
         std::rethrow_exception(first_error);
     return result();

@@ -35,6 +35,19 @@ defaultHeartbeatMs()
 namespace
 {
 
+/** net::FiveTuple -> obs::FlowId (obs sits below net and mirrors). */
+obs::FlowId
+toFlowId(const net::FiveTuple &tuple)
+{
+    obs::FlowId id;
+    id.src = tuple.src;
+    id.dst = tuple.dst;
+    id.srcPort = tuple.srcPort;
+    id.dstPort = tuple.dstPort;
+    id.proto = tuple.proto;
+    return id;
+}
+
 /** Detaches a per-packet observer on every exit path. */
 struct ScopedObserver
 {
@@ -130,6 +143,9 @@ PacketBench::PacketBench(Application &app_, BenchConfig cfg_)
     // Interned once: span annotation needs a pointer that stays valid
     // for the tracer's lifetime, not the app's std::string buffer.
     tracedAppName = obs::Tracer::instance().intern(app.name());
+
+    // Live telemetry record for this engine (stable reference).
+    telem = &obs::Telemetry::instance().engine(cfg.engineId);
 }
 
 void
@@ -186,7 +202,8 @@ PacketBench::publishInterpMetrics()
 PacketOutcome
 PacketBench::recordFault(const net::Packet &capture, FaultKind kind,
                          std::string message, sim::PacketStats stats,
-                         uint64_t cycles, uint64_t sim_ns)
+                         uint64_t cycles, uint64_t sim_ns,
+                         bool flow_valid, const net::FiveTuple &flow)
 {
     PacketOutcome outcome;
     outcome.stats = stats;
@@ -227,6 +244,18 @@ PacketBench::recordFault(const net::Packet &capture, FaultKind kind,
     if (uarch)
         publishUarchMetrics();
 
+    // A faulted packet is traffic too: while a pump runs it shows up
+    // in the windowed fault rate and against its flow, so a flow of
+    // poison packets surfaces in the live top-K table.
+    if (obs::statsEnabled()) {
+        uint64_t now_ns = obs::telemetryNowNs();
+        telem->record(now_ns, outcome.stats.instCount,
+                      capture.l3Len(), true);
+        if (flow_valid)
+            telem->topk.observe(net::flowHash(flow), toFlowId(flow),
+                                capture.l3Len(), true);
+    }
+
     PB_LOG(Debug, "%s: packet fault (%s): %s", app.name().c_str(),
            faultKindName(kind), outcome.faultMessage.c_str());
 
@@ -248,6 +277,15 @@ PacketBench::processPacket(net::Packet &packet)
     span.arg("engine", static_cast<uint64_t>(cfg.engineId));
     span.arg("packet", packetCount);
 
+    // Per-flow live accounting keys on the *dispatcher's* view of
+    // the packet — the 5-tuple before scrambling or rewriting — so
+    // parse it first, and only while a stats pump is running
+    // (disabled path: one relaxed load and a branch).
+    bool flow_valid = false;
+    net::FiveTuple flow;
+    if (obs::statsEnabled())
+        flow_valid = net::parseFiveTuple(packet, flow);
+
     // Validate before any preprocessing, so a malformed packet is
     // recorded (and quarantined) exactly as the trace delivered it.
     uint32_t l3_len = packet.l3Len();
@@ -260,7 +298,7 @@ PacketBench::processPacket(net::Packet &packet)
             fatal("%s", msg);
         span.arg("fault", faultKindName(FaultKind::MalformedPacket));
         return recordFault(packet, FaultKind::MalformedPacket, msg,
-                           {}, 0, 0);
+                           {}, 0, 0, flow_valid, flow);
     }
 
     // Quarantine must capture the bytes as read from the trace, and
@@ -337,14 +375,15 @@ PacketBench::processPacket(net::Packet &packet)
             net::Packet repro = packet;
             repro.bytes = std::move(original);
             return recordFault(repro, kind, e.what(), stats, cycles,
-                               sim_ns);
+                               sim_ns, flow_valid, flow);
         }
         return recordFault(packet, kind, e.what(), stats, cycles,
-                           sim_ns);
+                           sim_ns, flow_valid, flow);
     }
+    auto sim_end = std::chrono::steady_clock::now();
     uint64_t sim_ns = static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now() - sim_start)
+            sim_end - sim_start)
             .count());
     PacketOutcome outcome;
     outcome.stats = rec->endPacket();
@@ -381,6 +420,21 @@ PacketBench::processPacket(net::Packet &packet)
     if (uarch)
         publishUarchMetrics();
 
+    // Windowed live telemetry, only while a stats pump runs (the
+    // whole plane stays behind one relaxed load and a branch when
+    // off); reuses the sim-end timestamp so even the enabled hot
+    // path takes no extra clock read.
+    if (obs::statsEnabled()) {
+        uint64_t now_ns = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                sim_end.time_since_epoch())
+                .count());
+        telem->record(now_ns, outcome.stats.instCount, l3_len, false);
+        if (flow_valid)
+            telem->topk.observe(net::flowHash(flow), toFlowId(flow),
+                                l3_len, false);
+    }
+
     if (outcome.verdict == isa::SysCode::Send) {
         // Copy the (possibly rewritten) packet back out.
         mem.readBlock(sim::layout::packetBase, packet.l3(), l3_len);
@@ -395,8 +449,10 @@ PacketBench::run(net::TraceSource &source, uint32_t max_packets,
     using clock = std::chrono::steady_clock;
     std::vector<PacketOutcome> outcomes;
     outcomes.reserve(max_packets);
-    auto window_start = clock::now();
-    uint64_t window_packets = packetCount;
+    auto run_start = clock::now();
+    auto beat_at = run_start;
+    uint64_t run_start_packets = packetCount;
+    uint64_t beat_packets = packetCount;
     for (uint32_t i = 0; i < max_packets; i++) {
         auto packet = source.next();
         if (!packet)
@@ -407,29 +463,42 @@ PacketBench::run(net::TraceSource &source, uint32_t max_packets,
         if (!cfg.heartbeatMs)
             continue;
         auto now = clock::now();
-        auto window_ms =
-            std::chrono::duration_cast<std::chrono::milliseconds>(
-                now - window_start)
-                .count();
-        if (window_ms < cfg.heartbeatMs)
+        if (now - beat_at <
+            std::chrono::milliseconds(cfg.heartbeatMs))
             continue;
-        // Rate over the heartbeat window, totals over the run.
-        double pps = static_cast<double>(packetCount -
-                                         window_packets) *
-                     1e3 / static_cast<double>(window_ms);
+        // Instantaneous rate over the interval since the previous
+        // beat next to the cumulative average since run start, so a
+        // stall or burst is visible against the run's overall pace.
+        // Beat-to-beat deltas cost nothing per packet, unlike the
+        // windowed estimators (which only run under a stats pump).
+        double beat_s =
+            std::chrono::duration<double>(now - beat_at).count();
+        double now_pps =
+            beat_s > 0.0
+                ? static_cast<double>(packetCount - beat_packets) /
+                      beat_s
+                : 0.0;
+        double run_s =
+            std::chrono::duration<double>(now - run_start).count();
+        double avg_pps =
+            run_s > 0.0 ? static_cast<double>(
+                              packetCount - run_start_packets) /
+                              run_s
+                        : 0.0;
         PB_LOG(Info,
-               "%s: %llu packets (%.0f pkt/s), %llu insts, "
-               "%.1f sim-MIPS, %llu faults",
+               "%s: %llu packets (%.0f pkt/s now / %.0f avg), "
+               "%llu insts, %.1f sim-MIPS, %llu faults",
                app.name().c_str(),
-               static_cast<unsigned long long>(packetCount), pps,
+               static_cast<unsigned long long>(packetCount),
+               now_pps, avg_pps,
                static_cast<unsigned long long>(myInsts),
                mySimNs ? static_cast<double>(myInsts) * 1e3 /
                              static_cast<double>(mySimNs)
                        : 0.0,
                static_cast<unsigned long long>(
                    faultsTotalCtr->value()));
-        window_start = now;
-        window_packets = packetCount;
+        beat_at = now;
+        beat_packets = packetCount;
     }
     return outcomes;
 }

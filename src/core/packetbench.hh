@@ -22,10 +22,12 @@
 
 #include "core/app.hh"
 #include "core/fault.hh"
+#include "net/ipv4.hh"
 #include "net/scramble.hh"
 #include "net/trace.hh"
 #include "obs/metrics.hh"
 #include "obs/profiler.hh"
+#include "obs/stats.hh"
 #include "obs/tracing.hh"
 #include "sim/accounting.hh"
 #include "sim/cpu.hh"
@@ -96,10 +98,11 @@ struct BenchConfig
      * Emit a PB_LOG(Info) heartbeat at most every this many
      * milliseconds of wall time in run(); 0 disables.  Defaults to
      * the PB_HEARTBEAT_MS environment variable (5000 when unset).
-     * The line carries packets, packets/sec over the heartbeat
-     * window, instructions, sim-MIPS, and the run-wide
-     * pb.faults.total count.  Silent unless PB_LOG_LEVEL allows
-     * Info.
+     * The line carries packets, the instantaneous pkt/s over the
+     * interval since the previous beat ("now") next to the
+     * cumulative run average ("avg"), instructions, sim-MIPS, and
+     * the run-wide pb.faults.total count.  Silent unless
+     * PB_LOG_LEVEL allows Info.
      */
     uint32_t heartbeatMs = defaultHeartbeatMs();
 
@@ -236,11 +239,24 @@ class PacketBench
      * trace, pre-scramble) to cfg.quarantine.  Partial work the
      * handler did before faulting arrives via @p stats / @p cycles /
      * @p sim_ns so instruction and time accounting stay truthful.
+     * @p flow is the packet's pre-scramble 5-tuple when
+     * @p flow_valid (parsed only while a stats pump runs), so the
+     * live flow table attributes faults to the dispatcher's flow.
      */
     PacketOutcome recordFault(const net::Packet &capture,
                               FaultKind kind, std::string message,
                               sim::PacketStats stats, uint64_t cycles,
-                              uint64_t sim_ns);
+                              uint64_t sim_ns, bool flow_valid,
+                              const net::FiveTuple &flow);
+
+    /**
+     * Live telemetry (obs/stats.hh) for this engine: windowed rates,
+     * the rolling instructions-per-packet histogram, and the
+     * per-flow top-K table, fed per packet only while a stats pump
+     * runs (obs::statsEnabled()) — the disabled path is one relaxed
+     * load and a branch.
+     */
+    obs::EngineTelemetry *telem = nullptr;
 
     /** @name Published telemetry (obs/metrics.hh). @{ */
     void publishUarchMetrics();

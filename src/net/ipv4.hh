@@ -14,6 +14,7 @@
 #include <cstdint>
 
 #include "common/byteorder.hh"
+#include "common/hash.hh"
 #include "net/packet.hh"
 
 namespace pb::net
@@ -157,6 +158,21 @@ struct FiveTuple
 };
 
 bool parseFiveTuple(const Packet &packet, FiveTuple &tuple);
+
+/**
+ * The dispatcher's flow hash of a 5-tuple: the value that pins a
+ * flow to an engine (core/multicore.hh) and keys its entry in the
+ * live top-K flow table (obs/topk.hh).  Independent of the
+ * applications' own bucket hashes to avoid correlated imbalance.
+ */
+constexpr uint32_t
+flowHash(const FiveTuple &tuple)
+{
+    uint32_t ports = (static_cast<uint32_t>(tuple.srcPort) << 16) |
+                     tuple.dstPort;
+    return mix32(mix32(tuple.src, tuple.dst),
+                 mix32(ports, tuple.proto));
+}
 
 /**
  * RFC 1812 forwarding verdict (host reference for the forwarding

@@ -9,6 +9,7 @@
 #include <cmath>
 #include <fstream>
 #include <ostream>
+#include <string_view>
 
 #include "common/logging.hh"
 
@@ -57,6 +58,12 @@ Histogram::observe(uint64_t sample)
     count++;
     sum += sample;
     buckets[bucketOf(sample)]++;
+}
+
+size_t
+Histogram::bucketIndex(uint64_t sample)
+{
+    return bucketOf(sample);
 }
 
 uint64_t
@@ -240,6 +247,92 @@ promValue(double v)
     return strprintf("%.17g", v);
 }
 
+/** One help-table row: exact metric name (or family prefix). */
+struct HelpRow
+{
+    std::string_view name;
+    std::string_view help;
+    bool prefix = false;
+};
+
+/**
+ * HELP strings for every series the framework publishes.  Numbered
+ * per-engine families (mc.engine0.packets, stats.engine1.pps,
+ * mc.queue3, ...) match by prefix; anything not listed falls back to
+ * a generic line so every series still carries # HELP.
+ */
+constexpr HelpRow helpTable[] = {
+    {"pb.packets", "Packets processed by the framework"},
+    {"pb.insts", "NPE32 instructions executed (selective accounting)"},
+    {"pb.sent", "Packets the application accepted (SYS SEND)"},
+    {"pb.dropped", "Packets the application dropped (SYS DROP)"},
+    {"pb.faults.total", "Faulted packets across all fault kinds"},
+    {"pb.faults.malformed", "Packets rejected before the handler ran"},
+    {"pb.faults.sim", "Simulator faults inside the handler"},
+    {"pb.faults.budget", "Packets that blew the instruction budget"},
+    {"pb.faults.quarantined",
+     "Faulted packets written to the quarantine trace"},
+    {"pb.sim_ns", "Wall nanoseconds spent inside the simulator"},
+    {"pb.sim_mips",
+     "Simulated MIPS (instructions per wall microsecond)"},
+    {"pb.insts_per_packet",
+     "Per-packet instruction counts (paper Table 2)"},
+    {"pb.unique_insts_per_packet",
+     "Per-packet unique static instructions touched"},
+    {"pb.cycles_per_packet", "Modeled pipeline cycles per packet"},
+    {"pb.program_bytes", "Loaded NPE32 program size in bytes"},
+    {"pb.static_blocks", "Static basic blocks in the loaded program"},
+    {"sim.interp.mips", "Interpreter throughput in simulated MIPS"},
+    {"sim.interp.blocks", "Distinct basic blocks executed"},
+    {"sim.interp.block_len", "Mean executed basic-block length"},
+    {"mc.packets", "Packets dispatched across all engines"},
+    {"mc.batches", "Dispatcher-to-worker batch hand-offs"},
+    {"mc.engines", "Engines in the multi-core configuration"},
+    {"mc.imbalance", "Max over mean per-engine instruction load"},
+    {"mc.speedup", "Ideal parallel speedup from the load split"},
+    {"mc.parallel", "1 when the run used the parallel path"},
+    {"mc.wall_ns", "Multi-core run wall time in nanoseconds"},
+    {"mc.dispatch.no_tuple",
+     "Packets without a 5-tuple (round-robin dispatched)"},
+    {"mc.engine", "Per-engine load split from the last run", true},
+    {"mc.queue", "Per-engine dispatch queue occupancy", true},
+    {"trace.packets_read", "Packets read from trace sources"},
+    {"trace.packets_written", "Packets written to trace sinks"},
+    {"trace.bytes_read", "Bytes read from trace sources"},
+    {"trace.malformed", "Malformed records seen by trace sources"},
+    {"trace.gen", "Synthetic trace generator output", true},
+    {"trace.injected_faults",
+     "Faults injected by the fault-injection trace source"},
+    {"trace.dropped",
+     "Trace events dropped by the ring (capacity pressure)"},
+    {"uarch.icache.hits", "Instruction cache hits"},
+    {"uarch.icache.misses", "Instruction cache misses"},
+    {"uarch.icache.miss_rate", "Instruction cache miss rate"},
+    {"uarch.dcache.hits", "Data cache hits"},
+    {"uarch.dcache.misses", "Data cache misses"},
+    {"uarch.dcache.miss_rate", "Data cache miss rate"},
+    {"uarch.branch.lookups", "Branch predictor lookups"},
+    {"uarch.branch.mispredicts", "Branch mispredictions"},
+    {"uarch.branch.mispredict_rate", "Branch misprediction rate"},
+    {"obs.stats.records", "NDJSON records emitted by the stats pump"},
+    {"obs.stats.snapshot_ns",
+     "Wall nanoseconds the stats pump spent snapshotting"},
+    {"stats.engine",
+     "Live windowed per-engine telemetry (stats pump)", true},
+};
+
+/** HELP text for @p name (dotted registry name, pre-sanitization). */
+std::string_view
+promHelp(const std::string &name)
+{
+    for (const HelpRow &row : helpTable) {
+        if (row.prefix ? name.compare(0, row.name.size(), row.name) == 0
+                       : name == row.name)
+            return row.help;
+    }
+    return "PacketBench metric";
+}
+
 } // namespace
 
 void
@@ -247,6 +340,7 @@ Registry::writePrometheus(std::ostream &out) const
 {
     for (const Entry &e : snapshot()) {
         std::string name = promName(e.name);
+        out << "# HELP " << name << " " << promHelp(e.name) << "\n";
         out << "# TYPE " << name << " "
             << metricKindName(e.kind) << "\n";
         switch (e.kind) {

@@ -141,6 +141,13 @@ class Histogram
     /** Inclusive upper bound of bucket @p index. */
     static uint64_t bucketUpperBound(size_t index);
 
+    /**
+     * Index of the bucket holding @p sample (the inverse of
+     * bucketUpperBound, shared with obs::WindowedHistogram so the
+     * rolling and since-start views use identical edges).
+     */
+    static size_t bucketIndex(uint64_t sample);
+
   private:
     friend class Registry;
     mutable std::mutex mu;

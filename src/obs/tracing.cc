@@ -89,14 +89,15 @@ void
 Tracer::stop()
 {
     detail::traceEnabledFlag.store(false, std::memory_order_release);
-    // Publish the overwrite count as a delta so repeated
-    // start/stop cycles don't double-count.
+    // Publish the overwrite count as a delta so repeated start/stop
+    // cycles don't double-count.  Always touch the counter so a
+    // clean run reports trace.dropped = 0 instead of omitting the
+    // series from reports and scrapes.
     uint64_t total = droppedEvents();
     std::lock_guard<std::mutex> lock(mu);
+    Counter &dropped = defaultRegistry().counter("trace.dropped");
     if (total > droppedPublished) {
-        defaultRegistry()
-            .counter("trace.dropped")
-            .add(total - droppedPublished);
+        dropped.add(total - droppedPublished);
         droppedPublished = total;
     }
 }

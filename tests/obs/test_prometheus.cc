@@ -42,6 +42,41 @@ TEST(Prometheus, CountersAndGauges)
               std::string::npos);
 }
 
+TEST(Prometheus, HelpLinesForEverySeries)
+{
+    Registry reg;
+    reg.counter("pb.faults.total").add(1);
+    reg.gauge("stats.engine0.pps").set(5.0);
+    reg.counter("some.unknown.metric").add(1);
+
+    std::string text = expose(reg);
+    // Known series carry their specific help text...
+    EXPECT_NE(text.find("# HELP pb_faults_total Faulted packets "
+                        "across all fault kinds\n"),
+              std::string::npos);
+    // ...numbered per-engine families match by prefix...
+    EXPECT_NE(text.find("# HELP stats_engine0_pps Live windowed "
+                        "per-engine telemetry (stats pump)\n"),
+              std::string::npos);
+    // ...and unknown names still get a generic HELP line.
+    EXPECT_NE(text.find("# HELP some_unknown_metric "
+                        "PacketBench metric\n"),
+              std::string::npos);
+
+    // Exactly one HELP per TYPE: every series is annotated.
+    size_t helps = 0, types = 0;
+    for (size_t pos = 0;
+         (pos = text.find("# HELP ", pos)) != std::string::npos;
+         pos += 7)
+        helps++;
+    for (size_t pos = 0;
+         (pos = text.find("# TYPE ", pos)) != std::string::npos;
+         pos += 7)
+        types++;
+    EXPECT_EQ(helps, types);
+    EXPECT_EQ(helps, 3u);
+}
+
 TEST(Prometheus, NameSanitization)
 {
     Registry reg;

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Stats-pump tests: concurrent pump-vs-writer stress over the
+ * seqlocked windows and the mutexed flow table (the TSan target for
+ * the telemetry plane), NDJSON well-formedness and monotonicity, the
+ * final-record-on-stop guarantee, the live Prometheus rewrite, and
+ * the disabled-telemetry overhead bound (the stats analogue of
+ * TracingOverhead).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/packetbench.hh"
+#include "isa/assembler.hh"
+#include "net/tracegen.hh"
+#include "obs/stats.hh"
+#include "sim/memmap.hh"
+
+namespace
+{
+
+using namespace pb;
+using namespace pb::obs;
+
+std::vector<std::string>
+readLines(const std::string &path)
+{
+    std::ifstream in(path);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (!line.empty())
+            lines.push_back(line);
+    }
+    return lines;
+}
+
+/** Extract the integer following `"<field>": ` in a record line. */
+uint64_t
+jsonField(const std::string &line, const std::string &field)
+{
+    std::string needle = "\"" + field + "\": ";
+    size_t at = line.find(needle);
+    EXPECT_NE(at, std::string::npos) << field << " in " << line;
+    if (at == std::string::npos)
+        return 0;
+    return std::strtoull(line.c_str() + at + needle.size(), nullptr,
+                         10);
+}
+
+TEST(StatsPump, PumpVsWriterStressProducesValidNdjson)
+{
+    Telemetry::instance().reset();
+    std::string path = ::testing::TempDir() + "stats_stress.ndjson";
+
+    constexpr int kWriters = 4;
+    constexpr uint32_t kBaseEngine = 200; // ids private to this test
+    std::atomic<bool> done{false};
+
+    StatsPump pump;
+    pump.start(path, 10);
+
+    // Writers hammer the seqlocked windows and the flow table while
+    // the pump snapshots them concurrently — the race TSan must find
+    // nothing wrong with.
+    std::vector<std::thread> writers;
+    for (int t = 0; t < kWriters; t++) {
+        writers.emplace_back([&, t] {
+            EngineTelemetry &telem = Telemetry::instance().engine(
+                kBaseEngine + static_cast<uint32_t>(t));
+            FlowId id;
+            id.src = 0x0a000000u + static_cast<uint32_t>(t);
+            id.dst = 0xc0a80001u;
+            id.srcPort = 1000;
+            id.dstPort = 80;
+            id.proto = 17;
+            uint64_t n = 0;
+            while (!done.load(std::memory_order_relaxed)) {
+                uint64_t now = telemetryNowNs();
+                telem.record(now, 100 + n % 7, 64, n % 50 == 0);
+                telem.topk.observe(n % 13, id, 64, false);
+                n++;
+            }
+        });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    done.store(true, std::memory_order_relaxed);
+    for (auto &w : writers)
+        w.join();
+    pump.stop();
+
+    auto lines = readLines(path);
+    ASSERT_GE(lines.size(), 3u);
+    EXPECT_EQ(lines.size(), pump.records());
+
+    uint64_t prev_seq = 0, prev_wall = 0;
+    for (const std::string &line : lines) {
+        EXPECT_EQ(line.front(), '{');
+        EXPECT_EQ(line.back(), '}');
+        EXPECT_NE(line.find("\"schema\": \"packetbench.stats.v1\""),
+                  std::string::npos);
+        EXPECT_NE(line.find("\"engines\": ["), std::string::npos);
+        EXPECT_NE(line.find("\"snapshot_ns\": "), std::string::npos);
+
+        uint64_t seq = jsonField(line, "seq");
+        uint64_t wall = jsonField(line, "wall_ns");
+        EXPECT_GT(seq, prev_seq);
+        EXPECT_GT(wall, prev_wall);
+        prev_seq = seq;
+        prev_wall = wall;
+    }
+    // The stressed engines show up with flows in the final record.
+    EXPECT_NE(lines.back().find("\"topk\": [{"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(StatsPump, ShortRunStillEmitsFinalRecord)
+{
+    std::string path = ::testing::TempDir() + "stats_short.ndjson";
+    {
+        StatsPump pump;
+        // Interval far longer than the run: only the on-stop record.
+        pump.start(path, 60'000);
+        pump.stop();
+        EXPECT_GE(pump.records(), 1u);
+    }
+    auto lines = readLines(path);
+    ASSERT_GE(lines.size(), 1u);
+    EXPECT_NE(lines[0].find("packetbench.stats.v1"),
+              std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(StatsPump, EnabledFlagTracksPumpLifetime)
+{
+    EXPECT_FALSE(statsEnabled());
+    std::string path = ::testing::TempDir() + "stats_flag.ndjson";
+    StatsPump pump;
+    pump.start(path, 60'000);
+    EXPECT_TRUE(statsEnabled());
+    pump.stop();
+    EXPECT_FALSE(statsEnabled());
+    std::remove(path.c_str());
+}
+
+TEST(StatsPump, RewritesPrometheusSnapshotInPlace)
+{
+    std::string stats = ::testing::TempDir() + "stats_prom.ndjson";
+    std::string prom = ::testing::TempDir() + "stats_prom.txt";
+    StatsPump pump;
+    pump.setPromPath(prom);
+    pump.start(stats, 60'000);
+    pump.stop(); // the final record also rewrites the prom file
+
+    std::ifstream in(prom);
+    ASSERT_TRUE(in.good());
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    EXPECT_NE(text.find("# HELP "), std::string::npos);
+    EXPECT_NE(text.find("obs_stats_records"), std::string::npos);
+    std::remove(stats.c_str());
+    std::remove(prom.c_str());
+}
+
+/** Table 2-style header-processing handler: checksum the header. */
+class HeaderApp : public core::Application
+{
+  public:
+    std::string name() const override { return "header-sum"; }
+
+    isa::Program
+    setup(sim::Memory &mem) override
+    {
+        (void)mem;
+        return isa::Assembler(sim::layout::textBase).assemble(R"(
+main:
+    li  t0, 0
+    li  t1, 0
+loop:
+    lw  t2, 0(a0)
+    add t1, t1, t2
+    addi a0, a0, 4
+    addi t0, t0, 4
+    blt t0, a1, loop
+    li  a1, 1
+    sys 1
+)");
+    }
+};
+
+uint64_t
+timePacketLoop(core::PacketBench &bench, uint32_t packets,
+               bool extra_telemetry)
+{
+    net::SyntheticTrace trace(net::Profile::MRA, packets, 11);
+    EngineTelemetry &telem = Telemetry::instance().engine(777);
+    FlowId id;
+    id.src = 0x0a0a0a0a;
+    id.proto = 6;
+    uint64_t fake_now = telemetryNowNs();
+    auto start = std::chrono::steady_clock::now();
+    for (uint32_t i = 0; i < packets; i++) {
+        auto packet = trace.next();
+        if (!packet)
+            break;
+        if (extra_telemetry) {
+            // The marginal cost under test: another copy of the
+            // per-packet telemetry hook, gated exactly like the one
+            // in processPacket — with no pump running this must
+            // compile down to one relaxed load and a branch.
+            if (statsEnabled()) {
+                fake_now += 1000;
+                telem.record(fake_now, 100, 64, false);
+                telem.topk.observe(i, id, 64, false);
+            }
+            bench.processPacket(*packet);
+        } else {
+            bench.processPacket(*packet);
+        }
+    }
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+}
+
+TEST(StatsOverhead, DisabledTelemetryStaysUnderTwoPercent)
+{
+    ASSERT_FALSE(statsEnabled());
+    HeaderApp app;
+    core::PacketBench bench(app, {});
+
+    constexpr uint32_t packets = 1'500;
+    constexpr int trials = 6;
+    // Warm-up: fault in code paths, caches, and the first-touch cost
+    // of simulated memory before timing anything.
+    timePacketLoop(bench, packets, false);
+
+    uint64_t base_min = UINT64_MAX, extra_min = UINT64_MAX;
+    for (int t = 0; t < trials; t++) {
+        base_min =
+            std::min(base_min, timePacketLoop(bench, packets, false));
+        extra_min = std::min(extra_min,
+                             timePacketLoop(bench, packets, true));
+    }
+
+    double overhead = static_cast<double>(extra_min) /
+                          static_cast<double>(base_min) -
+                      1.0;
+    // <2% is the acceptance bound; a windowed record is a handful of
+    // relaxed atomic adds against a multi-microsecond simulated
+    // packet, and the flow gate is one relaxed load and a branch.
+    EXPECT_LT(overhead, 0.02)
+        << "base " << base_min << " ns vs extra " << extra_min
+        << " ns";
+}
+
+} // namespace

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Sliding-window aggregation tests: bucket rotation, idle-gap aging,
+ * ring-slot reclamation after long gaps, and the divergence between
+ * rolling and since-start quantiles under a workload shift.
+ *
+ * All timestamps are simulated (the classes take caller-provided
+ * nanoseconds), so the tests are exact and wall-clock independent.
+ */
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hh"
+#include "obs/window.hh"
+
+namespace
+{
+
+using namespace pb::obs;
+
+constexpr uint64_t kMs = 1'000'000;
+constexpr uint64_t kSecond = 1'000'000'000;
+
+TEST(WindowedRate, EmptyEstimatorReportsZero)
+{
+    WindowedRate r;
+    EXPECT_EQ(r.windowCount(0), 0u);
+    EXPECT_EQ(r.rate(5 * kSecond), 0.0);
+    EXPECT_EQ(r.total(), 0u);
+}
+
+TEST(WindowedRate, SteadyStreamMatchesEventRate)
+{
+    WindowedRate r; // 1 s window, 16 buckets
+    // One event per millisecond across exactly one window.
+    for (uint64_t t = 0; t < 1000; t++)
+        r.add(1, t * kMs);
+    uint64_t now = 999 * kMs;
+    EXPECT_EQ(r.windowCount(now), 1000u);
+    EXPECT_NEAR(r.rate(now), 1000.0, 1.0);
+    EXPECT_EQ(r.total(), 1000u);
+}
+
+TEST(WindowedRate, BucketRotationAgesOutOldEvents)
+{
+    WindowedRate r(kSecond);
+    // A 160-event burst inside the first 100 ms (the first couple of
+    // ring buckets).
+    for (uint64_t i = 0; i < 160; i++)
+        r.add(1, i * 625'000);
+
+    // Still fully inside the window half a window later...
+    EXPECT_EQ(r.windowCount(500 * kMs), 160u);
+    // ...and fully aged out once the window slides past the burst.
+    EXPECT_EQ(r.windowCount(1200 * kMs), 0u);
+    EXPECT_EQ(r.rate(1200 * kMs), 0.0);
+    // The since-start total survives the slide.
+    EXPECT_EQ(r.total(), 160u);
+}
+
+TEST(WindowedRate, IdleGapReclaimsStaleRingSlots)
+{
+    WindowedRate r(kSecond);
+    for (uint64_t i = 0; i < 160; i++)
+        r.add(1, i * 625'000);
+
+    // Resume after a multi-window idle gap: the new events land in
+    // ring slots that still physically hold the old burst's buckets,
+    // which rotation must reclaim rather than double-count.
+    r.add(7, 5 * kSecond);
+    EXPECT_EQ(r.windowCount(5 * kSecond), 7u);
+    EXPECT_NEAR(r.rate(5 * kSecond), 7.0, 0.01);
+    EXPECT_EQ(r.total(), 167u);
+}
+
+TEST(WindowedRate, ResetZeroesEverything)
+{
+    WindowedRate r;
+    r.add(5, 10 * kMs);
+    r.reset();
+    EXPECT_EQ(r.windowCount(10 * kMs), 0u);
+    EXPECT_EQ(r.total(), 0u);
+}
+
+TEST(WindowedHistogram, EmptySnapshotHasNoSamples)
+{
+    WindowedHistogram wh;
+    Histogram::Snapshot snap = wh.snapshot(0);
+    EXPECT_EQ(snap.count, 0u);
+    EXPECT_EQ(snap.quantile(0.99), 0u);
+}
+
+TEST(WindowedHistogram, RollingQuantileDivergesFromSinceStart)
+{
+    WindowedHistogram wh; // 1 s window
+    Registry reg;
+    Histogram &cumulative = reg.histogram("test.samples");
+
+    // Phase 1: a cheap-packet regime (samples around 100) in the
+    // first half second.
+    for (uint64_t i = 0; i < 1000; i++) {
+        wh.observe(100, i * 500'000);
+        cumulative.observe(100);
+    }
+    // Phase 2: the workload shifts to expensive packets (samples
+    // around 100'000) between 2.0 s and 2.5 s.
+    for (uint64_t i = 0; i < 1000; i++) {
+        wh.observe(100'000, 2 * kSecond + i * 500'000);
+        cumulative.observe(100'000);
+    }
+
+    // The rolling view only sees the new regime...
+    Histogram::Snapshot rolling = wh.snapshot(2500 * kMs);
+    EXPECT_EQ(rolling.count, 1000u);
+    EXPECT_EQ(rolling.min, 100'000u);
+    EXPECT_GT(rolling.quantile(0.5), 50'000u);
+
+    // ...while the since-start histogram still mixes both phases:
+    // its median sits in the old cheap regime.
+    Histogram::Snapshot all = cumulative.snapshot();
+    EXPECT_EQ(all.count, 2000u);
+    EXPECT_EQ(all.min, 100u);
+    EXPECT_LT(all.quantile(0.5), 1000u);
+    // Same bucket edges: an identical single-phase population gives
+    // identical quantiles in both views.
+    EXPECT_EQ(rolling.quantile(0.99),
+              Histogram::bucketUpperBound(
+                  Histogram::bucketIndex(100'000)));
+}
+
+TEST(WindowedHistogram, OldSlicesAgeOut)
+{
+    WindowedHistogram wh;
+    for (uint64_t i = 0; i < 64; i++)
+        wh.observe(42, i * kMs);
+    EXPECT_EQ(wh.snapshot(500 * kMs).count, 64u);
+    // Two windows later nothing remains.
+    EXPECT_EQ(wh.snapshot(2500 * kMs).count, 0u);
+}
+
+TEST(WindowedHistogram, SnapshotMergesAcrossSlices)
+{
+    WindowedHistogram wh;
+    // Samples spread across distinct slices of the same window.
+    wh.observe(1, 50 * kMs);
+    wh.observe(8, 300 * kMs);
+    wh.observe(64, 700 * kMs);
+    Histogram::Snapshot snap = wh.snapshot(900 * kMs);
+    EXPECT_EQ(snap.count, 3u);
+    EXPECT_EQ(snap.sum, 73u);
+    EXPECT_EQ(snap.min, 1u);
+    EXPECT_EQ(snap.max, 64u);
+}
+
+} // namespace
