@@ -33,6 +33,7 @@
 
 #include "analysis/experiments.hh"
 #include "common/logging.hh"
+#include "common/shutdown.hh"
 #include "common/strutil.hh"
 #include "obs/metrics.hh"
 #include "obs/report.hh"
@@ -149,6 +150,11 @@ int
 benchMain(int argc, char **argv, Fn &&body)
 {
     try {
+        // SIGINT/SIGTERM request a graceful stop: run loops that
+        // poll shutdownRequested() drain and return, so every flush
+        // below (stats, trace, prom, report) still happens and the
+        // process exits 0 with complete, parseable outputs.
+        installShutdownHandlers();
         auto trace_path = traceArg(argc, argv);
         if (trace_path) {
             obs::Tracer::instance().configureFromEnv();
@@ -166,6 +172,11 @@ benchMain(int argc, char **argv, Fn &&body)
         }
         auto start = std::chrono::steady_clock::now();
         body();
+        if (shutdownRequested())
+            std::fprintf(stderr,
+                         "interrupted by signal %d; flushing "
+                         "outputs before exit\n",
+                         shutdownSignal());
         if (stats_path) {
             pump.stop();
             std::fprintf(stderr, "stats written to %s\n",

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Graceful-shutdown flag implementation.
+ */
+
+#include "shutdown.hh"
+
+#include <atomic>
+#include <csignal>
+
+namespace pb
+{
+
+namespace
+{
+
+std::atomic<bool> requested{false};
+std::atomic<int> signalNo{0};
+
+extern "C" void
+onShutdownSignal(int sig)
+{
+    // Async-signal-safe: two relaxed stores and a disposition reset.
+    // Restoring SIG_DFL means a second signal kills the process the
+    // traditional way — the escape hatch when a drain wedges.
+    signalNo.store(sig, std::memory_order_relaxed);
+    requested.store(true, std::memory_order_relaxed);
+    std::signal(sig, SIG_DFL);
+}
+
+} // namespace
+
+bool
+shutdownRequested()
+{
+    return requested.load(std::memory_order_relaxed);
+}
+
+int
+shutdownSignal()
+{
+    return signalNo.load(std::memory_order_relaxed);
+}
+
+void
+requestShutdown(int signal)
+{
+    signalNo.store(signal, std::memory_order_relaxed);
+    requested.store(true, std::memory_order_relaxed);
+}
+
+void
+installShutdownHandlers()
+{
+    // Re-arm every call: a handler that already fired reset its
+    // disposition to default, and tests re-install between runs.
+    struct sigaction sa = {};
+    sa.sa_handler = onShutdownSignal;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = SA_RESTART;
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+}
+
+void
+resetShutdownForTest()
+{
+    requested.store(false, std::memory_order_relaxed);
+    signalNo.store(0, std::memory_order_relaxed);
+}
+
+} // namespace pb

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Cooperative graceful-shutdown flag.
+ *
+ * A batch bench killed by SIGINT/SIGTERM historically died mid-run
+ * and lost the final `--report`/`--stats`/`--trace` records; a
+ * persistent daemon (service/daemon.hh) cannot work that way at all.
+ * This module turns those signals into a process-wide request flag
+ * that every packet loop polls:
+ *
+ *  - installShutdownHandlers() arms SIGINT and SIGTERM (idempotent;
+ *    benchMain() calls it for every bench binary),
+ *  - the handler performs two relaxed atomic stores (async-signal
+ *    safe) and restores the default disposition, so a *second*
+ *    signal kills a wedged process the traditional way,
+ *  - run loops (PacketBench::run, the MultiCoreBench dispatcher, the
+ *    replayer) poll shutdownRequested() — one relaxed load per
+ *    packet — drain their queues, and return normally, so all
+ *    telemetry flushing downstream of the loop still happens and the
+ *    process exits 0 with a complete, valid output stream.
+ *
+ * requestShutdown() raises the same flag programmatically (the
+ * daemon's `--duration` timer, tests); resetShutdownForTest() clears
+ * it so one test process can exercise the path repeatedly.
+ */
+
+#ifndef PB_COMMON_SHUTDOWN_HH
+#define PB_COMMON_SHUTDOWN_HH
+
+namespace pb
+{
+
+/** True once a shutdown was requested (one relaxed atomic load). */
+bool shutdownRequested();
+
+/** The signal that requested shutdown (0 for programmatic/none). */
+int shutdownSignal();
+
+/** Raise the shutdown flag without a signal (timers, tests). */
+void requestShutdown(int signal = 0);
+
+/**
+ * Arm graceful-shutdown handlers for SIGINT and SIGTERM.  Safe to
+ * call repeatedly (it simply re-arms); the first delivered signal
+ * sets the flag and restores the default disposition, so a second
+ * signal of the same kind terminates the process immediately.
+ */
+void installShutdownHandlers();
+
+/** Clear the flag so a test can run the shutdown path again. */
+void resetShutdownForTest();
+
+} // namespace pb
+
+#endif // PB_COMMON_SHUTDOWN_HH

@@ -13,6 +13,7 @@
 
 #include "common/hash.hh"
 #include "common/logging.hh"
+#include "common/shutdown.hh"
 #include "common/spscqueue.hh"
 #include "net/ipv4.hh"
 #include "obs/metrics.hh"
@@ -60,30 +61,69 @@ MultiCoreBench::MultiCoreBench(const AppFactory &factory,
             std::make_unique<PacketBench>(*apps.back(), engine_cfg));
     }
     loads.assign(num_engines, EngineLoad{});
+    dispatchedPackets.assign(num_engines, 0);
+}
+
+uint32_t
+MultiCoreBench::leastLoadedEngine() const
+{
+    uint32_t best = 0;
+    for (uint32_t e = 1; e < numEngines(); e++) {
+        if (dispatchedPackets[e] < dispatchedPackets[best])
+            best = e;
+    }
+    return best;
 }
 
 uint32_t
 MultiCoreBench::dispatchIndex(const net::Packet &packet)
 {
-    // Flow pinning: hash the 5-tuple so a flow's state stays on one
-    // engine.  The dispatch hash is independent of the application's
-    // own bucket hash to avoid correlated imbalance.
+    const bool stealing =
+        cfg.dispatchPolicy == DispatchPolicy::Stealing;
     net::FiveTuple tuple;
-    if (parseFiveTuple(packet, tuple))
-        return net::flowHash(tuple) % numEngines();
-    // No 5-tuple (non-IPv4, truncated): round-robin instead of
-    // pinning everything to engine 0, which would skew mc.imbalance.
-    PB_COUNTER("mc.dispatch.no_tuple");
-    return rrNext++ % numEngines();
+    if (!parseFiveTuple(packet, tuple)) {
+        // No 5-tuple (non-IPv4, truncated): spread instead of
+        // pinning everything to engine 0, which would skew
+        // mc.imbalance.  No flow identity means no order constraint,
+        // so Stealing places each such packet least-loaded.
+        PB_COUNTER("mc.dispatch.no_tuple");
+        uint32_t e = stealing ? leastLoadedEngine()
+                              : rrNext++ % numEngines();
+        dispatchedPackets[e]++;
+        return e;
+    }
+    uint32_t home = net::flowHash(tuple) % numEngines();
+    if (!stealing) {
+        // Flow pinning: hash the 5-tuple so a flow's state stays on
+        // one engine.  The dispatch hash is independent of the
+        // application's own bucket hash to avoid correlated
+        // imbalance.
+        dispatchedPackets[home]++;
+        return home;
+    }
+    // Stealing: an established flow stays on its recorded engine
+    // (flow order per 5-tuple); a new flow goes to the least-loaded
+    // engine, which steers mice away from an elephant's engine.
+    auto [it, inserted] =
+        flowHome.try_emplace(net::flowHash(tuple), 0);
+    if (inserted) {
+        it->second = leastLoadedEngine();
+        if (it->second != home)
+            PB_COUNTER("mc.dispatch.stolen");
+    }
+    dispatchedPackets[it->second]++;
+    return it->second;
 }
 
 uint32_t
 MultiCoreBench::processPacket(net::Packet &packet)
 {
     uint32_t index = dispatchIndex(packet);
+    uint64_t l3_len = packet.l3Len();
     PacketOutcome outcome = engines[index]->processPacket(packet);
     loads[index].packets++;
     loads[index].instructions += outcome.stats.instCount;
+    loads[index].bytes += l3_len;
     if (outcome.faulted())
         loads[index].faults++;
     PB_COUNTER("mc.packets");
@@ -95,6 +135,10 @@ MultiCoreBench::runSerial(net::TraceSource &source,
                           uint32_t max_packets)
 {
     for (uint32_t i = 0; i < max_packets; i++) {
+        // Graceful shutdown: stop pulling new packets; everything
+        // processed so far stays recorded and flushes normally.
+        if (shutdownRequested())
+            break;
         auto packet = source.next();
         if (!packet)
             break;
@@ -151,11 +195,13 @@ MultiCoreBench::runParallel(net::TraceSource &source,
                             // exception, so it cannot poison the
                             // run; only Abort (or a framework bug)
                             // reaches the catch below.
+                            uint64_t l3_len = packet.l3Len();
                             PacketOutcome outcome =
                                 engines[e]->processPacket(packet);
                             loads[e].packets++;
                             loads[e].instructions +=
                                 outcome.stats.instCount;
+                            loads[e].bytes += l3_len;
                             if (outcome.faulted())
                                 loads[e].faults++;
                         }
@@ -217,6 +263,12 @@ MultiCoreBench::runParallel(net::TraceSource &source,
     for (uint32_t i = 0;
          i < max_packets && !abort.load(std::memory_order_acquire);
          i++) {
+        // Graceful shutdown: stop dispatching, then fall through to
+        // the drain below — pending batches are pushed, queues are
+        // closed, and every worker finishes what it was handed, so
+        // the run ends with complete, flushable accounting.
+        if (shutdownRequested())
+            break;
         auto packet = source.next();
         if (!packet)
             break;
@@ -268,6 +320,11 @@ MultiCoreBench::publishRunMetrics(const MultiCoreResult &res)
     reg.gauge("mc.imbalance").set(res.imbalance());
     reg.gauge("mc.speedup").set(res.speedup());
     reg.gauge("mc.parallel").set(cfg.parallel ? 1.0 : 0.0);
+    reg.gauge("mc.dispatch_stealing")
+        .set(cfg.dispatchPolicy == DispatchPolicy::Stealing ? 1.0
+                                                            : 0.0);
+    reg.gauge("mc.dispatch.flows")
+        .set(static_cast<double>(flowHome.size()));
     reg.counter("mc.wall_ns").add(res.wallNs);
     // Per-engine aggregation: one gauge pair per engine, so reports
     // expose the load split instead of one clobbered global value.
@@ -276,6 +333,8 @@ MultiCoreBench::publishRunMetrics(const MultiCoreResult &res)
             .set(static_cast<double>(res.engines[e].packets));
         reg.gauge(strprintf("mc.engine%u.insts", e))
             .set(static_cast<double>(res.engines[e].instructions));
+        reg.gauge(strprintf("mc.engine%u.bytes", e))
+            .set(static_cast<double>(res.engines[e].bytes));
         reg.gauge(strprintf("mc.engine%u.faults", e))
             .set(static_cast<double>(res.engines[e].faults));
     }

@@ -30,6 +30,7 @@
 
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "core/packetbench.hh"
@@ -42,6 +43,7 @@ struct EngineLoad
 {
     uint64_t packets = 0;
     uint64_t instructions = 0;
+    uint64_t bytes = 0;  ///< layer-3 bytes handed to the engine
     uint64_t faults = 0; ///< faulted packets (Drop/Quarantine policy)
 };
 
@@ -115,13 +117,28 @@ class MultiCoreBench
 
   private:
     /**
-     * Flow-pinned engine choice: the 5-tuple hash (independent of
-     * the applications' own bucket hashes), or round-robin when the
-     * packet has no parseable 5-tuple (non-IPv4, truncated), so
-     * such packets cannot pile up on engine 0 and skew the reported
-     * imbalance.
+     * Engine choice for one packet, per cfg.dispatchPolicy:
+     *
+     *  - Pinned: the 5-tuple hash (independent of the applications'
+     *    own bucket hashes);
+     *  - Stealing: the flow's recorded home engine, or — for a flow
+     *    seen for the first time — the engine with the fewest
+     *    packets dispatched so far ("mc.dispatch.stolen" counts the
+     *    flows this steers away from their hash home).
+     *
+     * Packets with no parseable 5-tuple (non-IPv4, truncated) go
+     * round-robin under Pinned and least-loaded under Stealing, so
+     * they cannot pile up on engine 0 and skew the reported
+     * imbalance.  Either way the decision is a deterministic
+     * function of the packet sequence so far, made on the
+     * dispatching thread in trace order — which is what keeps the
+     * serial path the bit-identical per-engine oracle of the
+     * parallel path for both policies.
      */
     uint32_t dispatchIndex(const net::Packet &packet);
+
+    /** Least-loaded engine by dispatched packet count (ties low). */
+    uint32_t leastLoadedEngine() const;
 
     MultiCoreResult runSerial(net::TraceSource &source,
                               uint32_t max_packets);
@@ -136,6 +153,20 @@ class MultiCoreBench
     std::vector<std::unique_ptr<PacketBench>> engines;
     std::vector<EngineLoad> loads;
     uint32_t rrNext = 0; ///< round-robin cursor for no-5-tuple packets
+
+    /**
+     * @name Stealing-policy dispatcher state.
+     * Touched only by the dispatching thread (the caller of
+     * processPacket()/run()), never by workers, so it needs no
+     * locking.  flowHome grows one entry per distinct flow hash for
+     * the lifetime of the bench — bounded by the corpus for replay,
+     * a deliberate memory/adaptivity trade documented in
+     * docs/SERVICE.md.
+     * @{
+     */
+    std::unordered_map<uint64_t, uint32_t> flowHome;
+    std::vector<uint64_t> dispatchedPackets;
+    /** @} */
 };
 
 } // namespace pb::core

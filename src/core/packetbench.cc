@@ -8,6 +8,7 @@
 #include <chrono>
 #include <cstdlib>
 
+#include "common/shutdown.hh"
 #include "sim/memmap.hh"
 #include "sim/simerror.hh"
 
@@ -454,6 +455,11 @@ PacketBench::run(net::TraceSource &source, uint32_t max_packets,
     uint64_t run_start_packets = packetCount;
     uint64_t beat_packets = packetCount;
     for (uint32_t i = 0; i < max_packets; i++) {
+        // Graceful shutdown (SIGINT/SIGTERM via common/shutdown.hh):
+        // stop pulling packets; the partial run's statistics flush
+        // through --report/--stats/--trace exactly like a full one.
+        if (shutdownRequested())
+            break;
         auto packet = source.next();
         if (!packet)
             break;

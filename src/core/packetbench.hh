@@ -43,6 +43,30 @@ namespace pb::core
  */
 uint32_t defaultHeartbeatMs();
 
+/**
+ * How MultiCoreBench assigns flows to engines (core/multicore.hh).
+ *
+ * Both policies keep flow order: every packet of one 5-tuple visits
+ * the same engine, in trace order.  Both are deterministic functions
+ * of the packet sequence, decided by the dispatcher in trace order,
+ * so for either policy the serial run is the bit-identical per-engine
+ * oracle of the parallel run.
+ */
+enum class DispatchPolicy : uint8_t
+{
+    /** Static 5-tuple-hash pinning (the historical behavior). */
+    Pinned,
+
+    /**
+     * Flow stealing for skewed traffic: a *new* flow is assigned to
+     * the engine with the fewest packets dispatched so far (ties to
+     * the lowest index) instead of its hash home, so mice flows are
+     * steered away from the engine an elephant flow is saturating.
+     * Established flows stay put — flow order per 5-tuple holds.
+     */
+    Stealing,
+};
+
 /** Framework configuration. */
 struct BenchConfig
 {
@@ -138,6 +162,14 @@ struct BenchConfig
 
     /** Per-engine queue capacity in batches (back-pressure bound). */
     uint32_t queueDepth = 8;
+
+    /**
+     * Flow-to-engine assignment policy.  Pinned is the static hash
+     * the paper's run-to-completion model implies; Stealing adapts
+     * placement of new flows to the observed load for skewed flow
+     * distributions (service mode's heavy-tail traffic).
+     */
+    DispatchPolicy dispatchPolicy = DispatchPolicy::Pinned;
     /** @} */
 };
 

@@ -15,6 +15,8 @@
 #include <fstream>
 #include <sstream>
 
+#include <unistd.h>
+
 #include "common/logging.hh"
 #include "obs/json.hh"
 #include "obs/metrics.hh"
@@ -134,6 +136,10 @@ StatsPump::start(const std::string &path, uint32_t interval_ms)
     // report shows them even for a run too short for one tick.
     defaultRegistry().counter("obs.stats.snapshot_ns");
     defaultRegistry().counter("obs.stats.records");
+    if (!promPath.empty()) {
+        defaultRegistry().counter("obs.stats.prom_writes");
+        defaultRegistry().counter("obs.stats.prom_fail");
+    }
     stopping = false;
     running = true;
     detail::statsEnabledFlag.store(true, std::memory_order_relaxed);
@@ -304,12 +310,31 @@ StatsPump::emitRecord()
 
     if (!promPath.empty()) {
         // Write-then-rename: a scraper reading promPath never sees a
-        // torn snapshot.
-        std::string tmp = promPath + ".tmp";
-        writePrometheusFile(tmp, reg);
-        if (std::rename(tmp.c_str(), promPath.c_str()) != 0)
-            warn("stats pump: cannot rename '%s' to '%s'",
-                 tmp.c_str(), promPath.c_str());
+        // torn snapshot.  The temp name carries the pid so two
+        // processes told to expose at the same promPath stage in
+        // distinct files instead of clobbering each other; a failed
+        // write or rename must not leak the staging file, and is
+        // counted so the run report shows the exposure ever broke.
+        std::string tmp = strprintf("%s.tmp.%ld", promPath.c_str(),
+                                    static_cast<long>(getpid()));
+        bool ok = false;
+        try {
+            writePrometheusFile(tmp, reg);
+            ok = std::rename(tmp.c_str(), promPath.c_str()) == 0;
+            if (!ok)
+                warn("stats pump: cannot rename '%s' to '%s'",
+                     tmp.c_str(), promPath.c_str());
+        } catch (const Error &e) {
+            // writePrometheusFile fatal()s when the temp cannot be
+            // created; the pump must outlive one bad tick.
+            warn("stats pump: %s", e.what());
+        }
+        if (ok) {
+            reg.counter("obs.stats.prom_writes").add(1);
+        } else {
+            std::remove(tmp.c_str());
+            reg.counter("obs.stats.prom_fail").add(1);
+        }
     }
 }
 

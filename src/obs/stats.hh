@@ -84,6 +84,18 @@ statsEnabled()
     return detail::statsEnabledFlag.load(std::memory_order_relaxed);
 }
 
+/**
+ * Raise or lower the per-packet telemetry gate directly.  StatsPump
+ * toggles it around start()/stop(); the service daemon raises it
+ * without a pump so its live speed reporter can read the windowed
+ * rates even when no `--stats` stream was requested.
+ */
+inline void
+setStatsEnabled(bool on)
+{
+    detail::statsEnabledFlag.store(on, std::memory_order_relaxed);
+}
+
 /** Nanoseconds on the telemetry clock (steady, process-wide). */
 inline uint64_t
 telemetryNowNs()
@@ -188,7 +200,12 @@ class StatsPump
     /**
      * Also rewrite this Prometheus snapshot on every tick (the
      * `--prom` path) via write-to-temp-then-rename, so a concurrent
-     * scraper never reads a half-written file.  Call before start().
+     * scraper never reads a half-written file.  The temp name is
+     * pid-qualified so two processes sharing a promPath never
+     * clobber each other's staging file; a failed write or rename
+     * warns, unlinks the temp, and counts into
+     * obs.stats.prom_fail (successes count obs.stats.prom_writes).
+     * Call before start().
      */
     void setPromPath(const std::string &path);
 

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * IngestRing / IngestSource implementation.
+ *
+ * Blocking waits use a bounded wait_for so a parked thread re-checks
+ * the process shutdown flag (common/shutdown.hh) even if it misses a
+ * wakeup; close() and shutdown both resolve every waiter promptly.
+ */
+
+#include "ingest.hh"
+
+#include <chrono>
+#include <utility>
+
+#include "common/shutdown.hh"
+#include "obs/metrics.hh"
+
+namespace pb::service
+{
+
+namespace
+{
+/** Backstop for blocking waits; shutdown poll period when parked. */
+constexpr std::chrono::milliseconds kParkSlice{50};
+} // namespace
+
+IngestRing::IngestRing(size_t capacity)
+    : cap(capacity ? capacity : 1)
+{
+}
+
+bool
+IngestRing::push(net::Packet &&packet)
+{
+    std::unique_lock<std::mutex> lock(mu);
+    while (items.size() >= cap && !closed_) {
+        if (shutdownRequested())
+            return false;
+        notFull.wait_for(lock, kParkSlice);
+    }
+    if (closed_ || shutdownRequested())
+        return false;
+    items.push_back(std::move(packet));
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    PB_COUNTER("service.ingest.accepted");
+    lock.unlock();
+    notEmpty.notify_one();
+    return true;
+}
+
+bool
+IngestRing::tryPush(net::Packet &&packet)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        if (closed_ || items.size() >= cap) {
+            dropped_.fetch_add(1, std::memory_order_relaxed);
+            PB_COUNTER("service.ingest.dropped");
+            return false;
+        }
+        items.push_back(std::move(packet));
+        accepted_.fetch_add(1, std::memory_order_relaxed);
+        PB_COUNTER("service.ingest.accepted");
+    }
+    notEmpty.notify_one();
+    return true;
+}
+
+bool
+IngestRing::pop(net::Packet &out)
+{
+    std::unique_lock<std::mutex> lock(mu);
+    while (items.empty()) {
+        if (closed_)
+            return false;
+        notEmpty.wait_for(lock, kParkSlice);
+    }
+    out = std::move(items.front());
+    items.pop_front();
+    lock.unlock();
+    notFull.notify_one();
+    return true;
+}
+
+bool
+IngestRing::tryPop(net::Packet &out)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        if (items.empty())
+            return false;
+        out = std::move(items.front());
+        items.pop_front();
+    }
+    notFull.notify_one();
+    return true;
+}
+
+void
+IngestRing::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        closed_ = true;
+    }
+    notFull.notify_all();
+    notEmpty.notify_all();
+}
+
+bool
+IngestRing::closed() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return closed_;
+}
+
+size_t
+IngestRing::size() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return items.size();
+}
+
+std::optional<net::Packet>
+IngestSource::next()
+{
+    net::Packet packet;
+    if (!ring.pop(packet))
+        return std::nullopt;
+    return packet;
+}
+
+} // namespace pb::service

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * TraceReplayer implementation.
+ *
+ * Termination paths all converge on closing the ring from run():
+ * corpus exhausted (non-loop), maxPackets reached, stop() called, or
+ * process shutdown requested.  The consumer then drains what is
+ * queued and sees end-of-trace, so no packet accepted into the ring
+ * is ever lost to teardown.
+ */
+
+#include "replay.hh"
+
+#include <utility>
+
+#include "common/shutdown.hh"
+#include "obs/metrics.hh"
+#include "service/ratelimit.hh"
+
+namespace pb::service
+{
+
+TraceReplayer::TraceReplayer(SourceFactory factory, IngestRing &ring,
+                             ReplayConfig cfg)
+    : factory(std::move(factory)), ring(ring), cfg(cfg)
+{
+}
+
+TraceReplayer::~TraceReplayer()
+{
+    stop();
+    join();
+}
+
+void
+TraceReplayer::start()
+{
+    bool expected = false;
+    if (!started.compare_exchange_strong(expected, true))
+        return;
+    thread = std::thread([this] { run(); });
+}
+
+void
+TraceReplayer::stop()
+{
+    stopRequested.store(true, std::memory_order_relaxed);
+}
+
+void
+TraceReplayer::join()
+{
+    if (thread.joinable())
+        thread.join();
+}
+
+void
+TraceReplayer::run()
+{
+    TokenBucket bucket(cfg.ratePps, cfg.burst);
+    bool done = false;
+    while (!done) {
+        std::unique_ptr<net::TraceSource> source = factory();
+        if (!source)
+            break;
+        bool pass_complete = true;
+        for (;;) {
+            if (stopRequested.load(std::memory_order_relaxed) ||
+                shutdownRequested()) {
+                done = true;
+                pass_complete = false;
+                break;
+            }
+            if (cfg.maxPackets &&
+                sent.load(std::memory_order_relaxed) >=
+                    cfg.maxPackets) {
+                done = true;
+                pass_complete = false;
+                break;
+            }
+            std::optional<net::Packet> packet = source->next();
+            if (!packet)
+                break; // corpus exhausted: maybe loop
+            if (!bucket.acquire()) {
+                done = true; // shutdown while pacing
+                pass_complete = false;
+                break;
+            }
+            bool accepted =
+                cfg.dropWhenFull
+                    ? ring.tryPush(std::move(*packet))
+                    : ring.push(std::move(*packet));
+            if (!accepted && !cfg.dropWhenFull) {
+                done = true; // ring closed under us, or shutdown
+                pass_complete = false;
+                break;
+            }
+            sent.fetch_add(1, std::memory_order_relaxed);
+            PB_COUNTER("service.replay.packets");
+        }
+        if (pass_complete) {
+            passes.fetch_add(1, std::memory_order_relaxed);
+            PB_COUNTER("service.replay.loops");
+            if (!cfg.loop)
+                done = true;
+        }
+    }
+    ring.close();
+}
+
+} // namespace pb::service

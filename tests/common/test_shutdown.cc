@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Graceful-shutdown flag tests: programmatic requests, real signal
+ * delivery through the installed handlers, and test reset.
+ *
+ * Each test that raises the flag resets it on the way out — the flag
+ * is process-global and later tests in this binary (and the SPSC
+ * park tests) must not see a stale shutdown request.
+ */
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+
+#include "common/shutdown.hh"
+
+namespace
+{
+
+using namespace pb;
+
+class ShutdownTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { resetShutdownForTest(); }
+    void TearDown() override { resetShutdownForTest(); }
+};
+
+TEST_F(ShutdownTest, CleanByDefault)
+{
+    EXPECT_FALSE(shutdownRequested());
+    EXPECT_EQ(shutdownSignal(), 0);
+}
+
+TEST_F(ShutdownTest, ProgrammaticRequestRaisesFlag)
+{
+    requestShutdown();
+    EXPECT_TRUE(shutdownRequested());
+    EXPECT_EQ(shutdownSignal(), 0);
+}
+
+TEST_F(ShutdownTest, ResetClearsFlag)
+{
+    requestShutdown(SIGTERM);
+    ASSERT_TRUE(shutdownRequested());
+    resetShutdownForTest();
+    EXPECT_FALSE(shutdownRequested());
+    EXPECT_EQ(shutdownSignal(), 0);
+}
+
+TEST_F(ShutdownTest, SigtermIsCaughtAndRecorded)
+{
+    installShutdownHandlers();
+    ASSERT_EQ(raise(SIGTERM), 0);
+    EXPECT_TRUE(shutdownRequested());
+    EXPECT_EQ(shutdownSignal(), SIGTERM);
+}
+
+TEST_F(ShutdownTest, SigintIsCaughtAndRecorded)
+{
+    installShutdownHandlers();
+    ASSERT_EQ(raise(SIGINT), 0);
+    EXPECT_TRUE(shutdownRequested());
+    EXPECT_EQ(shutdownSignal(), SIGINT);
+}
+
+TEST_F(ShutdownTest, HandlersRearmAfterFiring)
+{
+    // The handler restores SIG_DFL after firing (second signal =
+    // hard kill); installShutdownHandlers() must re-arm so the next
+    // graceful cycle works — this is what lets one test process
+    // exercise the path repeatedly.
+    installShutdownHandlers();
+    ASSERT_EQ(raise(SIGTERM), 0);
+    ASSERT_TRUE(shutdownRequested());
+
+    resetShutdownForTest();
+    installShutdownHandlers();
+    ASSERT_EQ(raise(SIGTERM), 0);
+    EXPECT_TRUE(shutdownRequested());
+    EXPECT_EQ(shutdownSignal(), SIGTERM);
+}
+
+} // namespace

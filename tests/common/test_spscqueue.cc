@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <ctime>
 #include <memory>
 #include <thread>
 
@@ -74,6 +77,90 @@ TEST(SpscQueue, TwoThreadTransferKeepsOrder)
     }
     producer.join();
     EXPECT_EQ(expected, items);
+}
+
+namespace
+{
+/** CPU time consumed by the calling thread so far, in nanoseconds. */
+long
+threadCpuNs()
+{
+    timespec ts{};
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return ts.tv_sec * 1'000'000'000L + ts.tv_nsec;
+}
+} // namespace
+
+TEST(SpscQueue, ParkedConsumerWakesOnPush)
+{
+    // A consumer blocked long past the spin budget must park, then
+    // wake promptly when the producer finally pushes.
+    SpscQueue<int> queue(4);
+    std::thread consumer([&] {
+        int out = 0;
+        ASSERT_TRUE(queue.pop(out));
+        EXPECT_EQ(out, 7);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    queue.push(7);
+    consumer.join();
+}
+
+TEST(SpscQueue, ParkedConsumerWakesOnClose)
+{
+    SpscQueue<int> queue(4);
+    std::thread consumer([&] {
+        int out = 0;
+        EXPECT_FALSE(queue.pop(out))
+            << "closed-empty queue must end the stream";
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    queue.close();
+    consumer.join();
+}
+
+TEST(SpscQueue, ParkedProducerWakesOnPop)
+{
+    SpscQueue<int> queue(2);
+    queue.push(1);
+    queue.push(2);
+    std::atomic<bool> pushed{false};
+    std::thread producer([&] {
+        queue.push(3); // full: spins out, then parks
+        pushed.store(true);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    EXPECT_FALSE(pushed.load()) << "push through a full queue?";
+    int out = 0;
+    ASSERT_TRUE(queue.pop(out));
+    producer.join();
+    EXPECT_TRUE(pushed.load());
+    ASSERT_TRUE(queue.pop(out));
+    ASSERT_TRUE(queue.pop(out));
+    EXPECT_EQ(out, 3);
+}
+
+TEST(SpscQueue, IdleConsumerBurnsAlmostNoCpu)
+{
+    // The daemon's idle contract: a worker parked on an empty queue
+    // must not spin a core.  The consumer blocks for ~400 ms of wall
+    // time; its *CPU* time over that window must be a small fraction
+    // (the spin budget runs out in microseconds, then it sleeps).
+    SpscQueue<int> queue(4);
+    std::atomic<long> cpu_ns{-1};
+    std::thread consumer([&] {
+        long before = threadCpuNs();
+        int out = 0;
+        ASSERT_TRUE(queue.pop(out));
+        cpu_ns.store(threadCpuNs() - before);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    queue.push(1);
+    consumer.join();
+    ASSERT_GE(cpu_ns.load(), 0);
+    EXPECT_LT(cpu_ns.load(), 200'000'000L)
+        << "an idle (parked) consumer burned most of the wait as "
+           "CPU time: the yield-spin bug is back";
 }
 
 } // namespace

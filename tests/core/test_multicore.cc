@@ -7,12 +7,17 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <optional>
 #include <set>
+#include <unordered_map>
+#include <vector>
 
 #include "apps/flow_class.hh"
 #include "apps/nat_app.hh"
 #include "core/multicore.hh"
 #include "isa/assembler.hh"
+#include "net/faultinject.hh"
 #include "net/tracegen.hh"
 #include "sim/simerror.hh"
 
@@ -239,6 +244,232 @@ TEST(MultiCore, ParallelPropagatesWorkerExceptions)
         [] { return std::make_unique<SpinApp>(); }, 4, cfg);
     SyntheticTrace trace(Profile::MRA, 2000, 5);
     EXPECT_THROW(cores.run(trace, 2000), sim::BudgetError);
+}
+
+/** Replays a pre-built packet vector (deterministic skew shapes). */
+class VectorTrace : public TraceSource
+{
+  public:
+    explicit VectorTrace(std::vector<Packet> packets)
+        : packets(std::move(packets))
+    {
+    }
+
+    std::optional<Packet> next() override
+    {
+        if (index >= packets.size())
+            return std::nullopt;
+        return packets[index++];
+    }
+
+    std::string name() const override { return "vector"; }
+
+  private:
+    std::vector<Packet> packets;
+    size_t index = 0;
+};
+
+/**
+ * Heavy-tailed corpus: every 4th packet belongs to one elephant
+ * flow, the rest cycle through @p mice_flows distinct mice.  The
+ * interleaving means the elephant is hot from the first packets —
+ * the shape the Stealing policy exists for.
+ */
+std::vector<Packet>
+skewedCorpus(uint32_t total, uint32_t mice_flows)
+{
+    std::vector<Packet> out;
+    out.reserve(total);
+    FiveTuple elephant;
+    elephant.src = 0x0a0a0a0a;
+    elephant.dst = 0x0b0b0b0b;
+    elephant.srcPort = 4242;
+    elephant.dstPort = 443;
+    elephant.proto = 6;
+    uint32_t mouse = 0;
+    for (uint32_t i = 0; i < total; i++) {
+        FiveTuple tuple = elephant;
+        if (i % 4 != 0) {
+            tuple.src = 0x0c000000 + (mouse % mice_flows);
+            tuple.dst = 0x0d000000 + (mouse / 7 % mice_flows);
+            tuple.srcPort = static_cast<uint16_t>(1024 + mouse % 50000);
+            tuple.dstPort = 80;
+            tuple.proto = mouse % 3 ? 6 : 17;
+            mouse++;
+        }
+        Packet packet;
+        packet.bytes = buildIpv4Packet(tuple, 64);
+        out.push_back(std::move(packet));
+    }
+    return out;
+}
+
+TEST(MultiCore, StealingKeepsFlowOnOneEngine)
+{
+    // Stealing may place a *new* flow anywhere, but an established
+    // flow must never move: flow order per 5-tuple is the contract.
+    BenchConfig cfg;
+    cfg.dispatchPolicy = DispatchPolicy::Stealing;
+    MultiCoreBench cores(flowFactory(256), 4, cfg);
+    std::vector<Packet> corpus = skewedCorpus(400, 37);
+    std::unordered_map<uint32_t, uint32_t> homes;
+    for (auto &packet : corpus) {
+        Packet copy = packet;
+        uint32_t engine = cores.processPacket(copy);
+        // Re-derive the flow key the dispatcher used.
+        FiveTuple tuple;
+        ASSERT_TRUE(parseFiveTuple(packet, tuple));
+        auto [it, inserted] =
+            homes.try_emplace(flowHash(tuple), engine);
+        EXPECT_EQ(it->second, engine)
+            << "flow moved between engines";
+    }
+}
+
+TEST(MultiCore, StealingBalancesElephantFlow)
+{
+    // Under Pinned, the elephant's engine also receives its hash
+    // share of mice, so it is strictly more loaded than the rest.
+    // Stealing steers new mice flows away from the busy engine, so
+    // the packet imbalance must come out lower.
+    std::vector<Packet> corpus = skewedCorpus(8000, 1500);
+
+    MultiCoreBench pinned(flowFactory(512), 4);
+    VectorTrace pinned_trace(corpus);
+    MultiCoreResult pinned_res = pinned.run(pinned_trace, 8000);
+
+    BenchConfig cfg;
+    cfg.dispatchPolicy = DispatchPolicy::Stealing;
+    MultiCoreBench stealing(flowFactory(512), 4, cfg);
+    VectorTrace stealing_trace(corpus);
+    MultiCoreResult stealing_res = stealing.run(stealing_trace, 8000);
+
+    auto max_packets = [](const MultiCoreResult &res) {
+        uint64_t worst = 0;
+        for (const auto &engine : res.engines)
+            worst = std::max(worst, engine.packets);
+        return worst;
+    };
+    EXPECT_EQ(stealing_res.totalPackets, pinned_res.totalPackets);
+    EXPECT_LT(max_packets(stealing_res), max_packets(pinned_res))
+        << "stealing should unload the elephant's engine";
+    // The elephant alone is 25% of traffic on 4 engines, so perfect
+    // packet balance is reachable: the hot engine should carry close
+    // to its fair share, far from the pinned pile-up.
+    EXPECT_LT(static_cast<double>(max_packets(stealing_res)),
+              0.30 * static_cast<double>(stealing_res.totalPackets));
+}
+
+TEST(MultiCore, StealingSerialParallelBitIdentical)
+{
+    // The Stealing decision is a deterministic function of the
+    // packet sequence, made on the dispatching thread in trace
+    // order — so the serial run stays the bit-identical per-engine
+    // oracle, exactly as for Pinned, across hand-off knobs.
+    std::vector<Packet> corpus = skewedCorpus(3000, 900);
+
+    BenchConfig serial_cfg;
+    serial_cfg.dispatchPolicy = DispatchPolicy::Stealing;
+    MultiCoreBench serial(flowFactory(512), 4, serial_cfg);
+    VectorTrace serial_trace(corpus);
+    MultiCoreResult serial_res = serial.run(serial_trace, 3000);
+
+    struct Knobs
+    {
+        uint32_t batch;
+        uint32_t depth;
+    };
+    for (Knobs knobs : {Knobs{1, 1}, Knobs{16, 4}, Knobs{64, 8}}) {
+        BenchConfig cfg;
+        cfg.parallel = true;
+        cfg.dispatchBatch = knobs.batch;
+        cfg.queueDepth = knobs.depth;
+        cfg.dispatchPolicy = DispatchPolicy::Stealing;
+        MultiCoreBench parallel(flowFactory(512), 4, cfg);
+        VectorTrace trace(corpus);
+        MultiCoreResult par_res = parallel.run(trace, 3000);
+
+        ASSERT_EQ(par_res.engines.size(), serial_res.engines.size());
+        for (size_t e = 0; e < serial_res.engines.size(); e++) {
+            EXPECT_EQ(par_res.engines[e].packets,
+                      serial_res.engines[e].packets)
+                << "batch " << knobs.batch << " engine " << e;
+            EXPECT_EQ(par_res.engines[e].instructions,
+                      serial_res.engines[e].instructions)
+                << "batch " << knobs.batch << " engine " << e;
+            EXPECT_EQ(par_res.engines[e].bytes,
+                      serial_res.engines[e].bytes)
+                << "batch " << knobs.batch << " engine " << e;
+        }
+        apps::FlowClassApp probe(512);
+        for (uint32_t e = 0; e < 4; e++)
+            EXPECT_EQ(probe.simFlowCount(parallel.engine(e).memory()),
+                      probe.simFlowCount(serial.engine(e).memory()))
+                << "engine " << e;
+    }
+}
+
+TEST(MultiCore, StealingSerialParallelMatchOnCorruptedTraces)
+{
+    // The PR 3 hostile-input matrix, replayed under Stealing: with
+    // deterministic injection and FaultPolicy::Drop, per-engine
+    // packet/instruction/fault totals must stay bit-identical
+    // between the serial oracle and the threaded run.
+    struct MatrixEntry
+    {
+        const char *name;
+        FaultInjectConfig cfg;
+    };
+    MatrixEntry matrix[] = {
+        {"all-kinds", {}},
+        {"runts-only",
+         {.period = 7,
+          .seed = 23,
+          .bitFlips = false,
+          .truncation = true,
+          .headerCorruption = false,
+          .oversize = false}},
+        {"noise-only",
+         {.period = 5,
+          .seed = 31,
+          .bitFlips = true,
+          .truncation = false,
+          .headerCorruption = true,
+          .oversize = false}},
+    };
+    for (const MatrixEntry &entry : matrix) {
+        BenchConfig serial_cfg;
+        serial_cfg.dispatchPolicy = DispatchPolicy::Stealing;
+        serial_cfg.faultPolicy = FaultPolicy::Drop;
+        MultiCoreBench serial(flowFactory(256), 4, serial_cfg);
+        SyntheticTrace serial_clean(Profile::MRA, 2000, 13);
+        FaultInjectingTraceSource serial_trace(serial_clean,
+                                               entry.cfg);
+        MultiCoreResult serial_res = serial.run(serial_trace, 2000);
+
+        BenchConfig par_cfg = serial_cfg;
+        par_cfg.parallel = true;
+        par_cfg.dispatchBatch = 16;
+        MultiCoreBench parallel(flowFactory(256), 4, par_cfg);
+        SyntheticTrace par_clean(Profile::MRA, 2000, 13);
+        FaultInjectingTraceSource par_trace(par_clean, entry.cfg);
+        MultiCoreResult par_res = parallel.run(par_trace, 2000);
+
+        EXPECT_EQ(par_res.totalFaults, serial_res.totalFaults)
+            << entry.name;
+        ASSERT_EQ(par_res.engines.size(), serial_res.engines.size());
+        for (size_t e = 0; e < serial_res.engines.size(); e++) {
+            EXPECT_EQ(par_res.engines[e].packets,
+                      serial_res.engines[e].packets)
+                << entry.name << " engine " << e;
+            EXPECT_EQ(par_res.engines[e].instructions,
+                      serial_res.engines[e].instructions)
+                << entry.name << " engine " << e;
+            EXPECT_EQ(par_res.engines[e].faults,
+                      serial_res.engines[e].faults)
+                << entry.name << " engine " << e;
+        }
+    }
 }
 
 TEST(MultiCore, ZeroEnginesRejected)

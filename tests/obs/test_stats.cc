@@ -19,6 +19,9 @@
 #include <thread>
 #include <vector>
 
+#include <unistd.h>
+
+#include "common/logging.hh"
 #include "core/packetbench.hh"
 #include "isa/assembler.hh"
 #include "net/tracegen.hh"
@@ -169,6 +172,80 @@ TEST(StatsPump, RewritesPrometheusSnapshotInPlace)
     EXPECT_NE(text.find("obs_stats_records"), std::string::npos);
     std::remove(stats.c_str());
     std::remove(prom.c_str());
+}
+
+TEST(StatsPump, PromRenameFailureIsCountedAndLeaksNoTempFile)
+{
+    // Point promPath at an existing *directory*: writing the staging
+    // file succeeds, but rename() onto a non-empty directory fails.
+    // The pump must warn, unlink the staging file, count the failure
+    // — and keep running.
+    std::string stats = ::testing::TempDir() + "stats_promfail.ndjson";
+    std::string prom = ::testing::TempDir(); // a directory
+    if (prom.back() == '/')
+        prom.pop_back();
+
+    Registry &reg = defaultRegistry();
+    uint64_t fails_before =
+        reg.counter("obs.stats.prom_fail").value();
+    uint64_t writes_before =
+        reg.counter("obs.stats.prom_writes").value();
+
+    StatsPump pump;
+    pump.setPromPath(prom);
+    pump.start(stats, 60'000);
+    pump.stop(); // one final record -> one failed prom rewrite
+
+    EXPECT_GE(reg.counter("obs.stats.prom_fail").value(),
+              fails_before + 1);
+    EXPECT_EQ(reg.counter("obs.stats.prom_writes").value(),
+              writes_before);
+
+    // The pid-qualified staging file must not be left behind.
+    std::string tmp =
+        strprintf("%s.tmp.%ld", prom.c_str(),
+                  static_cast<long>(getpid()));
+    std::ifstream leaked(tmp);
+    EXPECT_FALSE(leaked.good()) << "leaked staging file " << tmp;
+    std::remove(stats.c_str());
+}
+
+TEST(StatsPump, PromSuccessCountsWritesAndLeavesNoTempFile)
+{
+    std::string stats = ::testing::TempDir() + "stats_promok.ndjson";
+    std::string prom = ::testing::TempDir() + "stats_promok.txt";
+
+    Registry &reg = defaultRegistry();
+    uint64_t writes_before =
+        reg.counter("obs.stats.prom_writes").value();
+
+    StatsPump pump;
+    pump.setPromPath(prom);
+    pump.start(stats, 60'000);
+    pump.stop();
+
+    EXPECT_GE(reg.counter("obs.stats.prom_writes").value(),
+              writes_before + 1);
+    std::ifstream out(prom);
+    EXPECT_TRUE(out.good());
+    std::string tmp =
+        strprintf("%s.tmp.%ld", prom.c_str(),
+                  static_cast<long>(getpid()));
+    std::ifstream leaked(tmp);
+    EXPECT_FALSE(leaked.good()) << "leaked staging file " << tmp;
+    std::remove(stats.c_str());
+    std::remove(prom.c_str());
+}
+
+TEST(StatsPump, SetStatsEnabledControlsGateWithoutPump)
+{
+    // The daemon's speed reporter lights the per-packet gate without
+    // a pump; the toggle must be visible and restorable.
+    ASSERT_FALSE(statsEnabled());
+    setStatsEnabled(true);
+    EXPECT_TRUE(statsEnabled());
+    setStatsEnabled(false);
+    EXPECT_FALSE(statsEnabled());
 }
 
 /** Table 2-style header-processing handler: checksum the header. */
