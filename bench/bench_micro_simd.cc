@@ -1,0 +1,237 @@
+/**
+ * @file
+ * SIMD kernel microbenchmark: throughput of every host hot-path
+ * kernel (Internet checksum, 5-tuple flow hash, Feistel scrambler,
+ * packet-memory clear) on every backend the host supports, with
+ * speedups over the generic scalar reference.
+ *
+ * Unlike bench_micro_interp this measures pure host arithmetic — no
+ * simulated machine — so the numbers isolate the kernel layer that
+ * net::inetChecksum, the batched dispatcher, AddressScrambler, and
+ * Memory::reset() dispatch into (src/net/simd/).
+ *
+ * Output: a human-readable table on stdout and a JSON document
+ * (default BENCH_simd.json, `--out=FILE`) with schema
+ * "packetbench.bench_simd.v1".  ci/check_bench.py validates it; the
+ * committed copy at the repo root is the baseline snapshot.
+ *
+ * Options: --batch=N (items per measured pass), --repeats=N
+ * (best-of), --out=FILE, plus the usual --report/--prom/--trace.
+ */
+
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+
+#include "common/rng.hh"
+#include "net/simd/kernels.hh"
+#include "obs/json.hh"
+
+namespace
+{
+
+using namespace pb;
+using namespace pb::net::simd;
+
+/** Kernels measured, in table order. */
+constexpr const char *kernelNames[] = {"checksum", "flowhash",
+                                      "feistel", "clear"};
+constexpr unsigned numKernels = 4;
+
+constexpr unsigned headerLen = 20;   // IPv4 header per checksum op
+constexpr unsigned clearLen = 1500;  // bytes per clear op (MTU-ish)
+constexpr unsigned feistelRounds = 4;
+
+/** Random inputs shared by every backend (identical work). */
+struct Inputs
+{
+    std::vector<uint8_t> headers;      // batch x 20-byte headers
+    std::vector<const uint8_t *> ptrs; // into headers
+    std::vector<unsigned> lens;
+    std::vector<uint32_t> src, dst, ports, proto;
+    std::vector<uint32_t> addrs;
+    std::vector<uint8_t> clearBuf;
+
+    explicit Inputs(unsigned batch)
+    {
+        Rng rng(1905);
+        headers.resize(static_cast<size_t>(batch) * headerLen);
+        for (auto &byte : headers)
+            byte = static_cast<uint8_t>(rng.below(256));
+        for (unsigned i = 0; i < batch; i++) {
+            ptrs.push_back(headers.data() +
+                           static_cast<size_t>(i) * headerLen);
+            lens.push_back(headerLen);
+            src.push_back(rng.next());
+            dst.push_back(rng.next());
+            ports.push_back(rng.next());
+            proto.push_back(rng.below(256));
+            addrs.push_back(rng.next());
+        }
+        clearBuf.assign(clearLen, 0xa5);
+    }
+};
+
+/**
+ * One timed pass of kernel @p k on @p table; returns item count.
+ * @p sink accumulates results so the work cannot be elided.
+ */
+unsigned
+runPass(const KernelTable &table, unsigned k, Inputs &in,
+        std::vector<uint16_t> &sums, std::vector<uint32_t> &words,
+        uint64_t &sink)
+{
+    const unsigned batch = static_cast<unsigned>(in.lens.size());
+    switch (k) {
+      case 0:
+        table.checksumBatch(in.ptrs.data(), in.lens.data(),
+                            sums.data(), batch);
+        sink += sums[0] + sums[batch - 1];
+        return batch;
+      case 1:
+        table.flowHashBatch(in.src.data(), in.dst.data(),
+                            in.ports.data(), in.proto.data(),
+                            words.data(), batch);
+        sink += words[0] + words[batch - 1];
+        return batch;
+      case 2:
+        table.feistelBatch(in.addrs.data(), words.data(), batch,
+                           0x5ca1ab1e, feistelRounds);
+        sink += words[0] + words[batch - 1];
+        return batch;
+      case 3:
+        // One buffer cleared per "op", batch ops per pass.
+        for (unsigned i = 0; i < batch; i++)
+            table.clearBytes(in.clearBuf.data(), clearLen);
+        sink += in.clearBuf[0];
+        return batch;
+    }
+    return 0;
+}
+
+/** Bytes handled by one op of kernel @p k (throughput in MB/s). */
+unsigned
+opBytes(unsigned k)
+{
+    switch (k) {
+      case 0:
+        return headerLen;
+      case 3:
+        return clearLen;
+      default:
+        return 4; // one 32-bit lane in, one out
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return bench::benchMain(argc, argv, [&] {
+        uint32_t batch = bench::uintArg(argc, argv, "batch", 4096);
+        uint32_t repeats = bench::uintArg(argc, argv, "repeats", 7);
+        uint32_t passes = bench::uintArg(argc, argv, "passes", 200);
+        std::string out = bench::fileArg(argc, argv, "out")
+                              .value_or("BENCH_simd.json");
+
+        bench::banner(
+            "SIMD kernel throughput (backend x kernel, Mops)",
+            "substrate benchmark; no paper counterpart");
+
+        std::vector<Backend> backends;
+        for (unsigned b = 0; b < numBackends; b++) {
+            Backend backend = static_cast<Backend>(b);
+            if (backendSupported(backend))
+                backends.push_back(backend);
+        }
+
+        Inputs inputs(batch);
+        std::vector<uint16_t> sums(batch);
+        std::vector<uint32_t> words(batch);
+        uint64_t sink = 0;
+
+        // best[backend][kernel] in Mops (ops = items processed).
+        std::vector<std::array<double, numKernels>> best(
+            backends.size(), std::array<double, numKernels>{});
+        // Interleaved best-of rounds: every (backend, kernel) cell
+        // is timed once per round so slow drift hits all cells
+        // evenly instead of whichever ran last.
+        for (uint32_t r = 0; r < repeats; r++) {
+            for (size_t bi = 0; bi < backends.size(); bi++) {
+                const KernelTable &table =
+                    backendTable(backends[bi]);
+                for (unsigned k = 0; k < numKernels; k++) {
+                    uint64_t ops = 0;
+                    auto start = std::chrono::steady_clock::now();
+                    for (uint32_t p = 0; p < passes; p++)
+                        ops += runPass(table, k, inputs, sums,
+                                       words, sink);
+                    double ns =
+                        std::chrono::duration<double, std::nano>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+                    double mops =
+                        ns > 0
+                            ? static_cast<double>(ops) * 1e3 / ns
+                            : 0;
+                    if (mops > best[bi][k])
+                        best[bi][k] = mops;
+                }
+            }
+        }
+        if (sink == uint64_t(-1)) // defeat dead-code elimination
+            std::printf("sink %llu\n",
+                        static_cast<unsigned long long>(sink));
+
+        std::printf("%-8s %12s %12s %12s %12s\n", "backend",
+                    "checksum", "flowhash", "feistel", "clear");
+        obs::JsonValue::Array backends_json;
+        for (size_t bi = 0; bi < backends.size(); bi++) {
+            std::string name(backendName(backends[bi]));
+            std::printf("%-8s", name.c_str());
+            obs::JsonValue::Object kernels_json;
+            for (unsigned k = 0; k < numKernels; k++) {
+                double mops = best[bi][k];
+                double speedup =
+                    best[0][k] > 0 ? mops / best[0][k] : 0;
+                std::printf(" %8.1f/%.2fx", mops, speedup);
+                kernels_json.emplace_back(
+                    kernelNames[k],
+                    obs::JsonValue(obs::JsonValue::Object{
+                        {"mops", mops},
+                        {"mbytes_per_sec", mops * opBytes(k)},
+                        {"speedup_vs_generic", speedup}}));
+            }
+            std::printf("\n");
+            backends_json.push_back(
+                obs::JsonValue(obs::JsonValue::Object{
+                    {"backend", name},
+                    {"kernels", std::move(kernels_json)}}));
+        }
+
+        obs::JsonValue doc(obs::JsonValue::Object{
+            {"schema", "packetbench.bench_simd.v1"},
+            {"batch", static_cast<uint64_t>(batch)},
+            {"repeats", static_cast<uint64_t>(repeats)},
+            {"passes", static_cast<uint64_t>(passes)},
+            {"header_len", static_cast<uint64_t>(headerLen)},
+            {"clear_len", static_cast<uint64_t>(clearLen)},
+            {"active_backend",
+             std::string(backendName(activeBackend()))},
+            {"best_backend",
+             std::string(backendName(bestSupportedBackend()))},
+            {"backends", std::move(backends_json)}});
+        std::ofstream file(out);
+        if (!file)
+            fatal("cannot write %s", out.c_str());
+        file << doc.dump(2) << "\n";
+        std::fprintf(stderr, "benchmark written to %s\n",
+                     out.c_str());
+    });
+}

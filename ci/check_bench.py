@@ -1,24 +1,43 @@
 #!/usr/bin/env python3
-"""Structural validator for BENCH_interp.json from bench_micro_interp.
+"""Structural validator for committed benchmark baselines.
 
-Checks that the interpreter microbenchmark produced a well-formed
-document: the expected schema, every application present, positive
-simulated-MIPS figures for all four dispatch-mode x observer
-configurations, and speedup figures consistent with the raw MIPS.
-Absolute thresholds are deliberately loose (the hard 2x / 1.3x gate
-is judged on the committed baseline, not on shared CI runners), but
-the block-stepped loop must at least not lose to the reference loop.
+Dispatches on the document's "schema" field:
 
-Usage: check_bench.py BENCH_interp.json
+packetbench.bench_interp.v1 (bench_micro_interp)
+    The interpreter microbenchmark: the expected schema, every
+    application present, positive simulated-MIPS figures for all four
+    dispatch-mode x observer configurations, and speedup figures
+    consistent with the raw MIPS.  Absolute thresholds are
+    deliberately loose (the hard 2x / 1.3x gate is judged on the
+    committed baseline, not on shared CI runners), but the
+    block-stepped loop must at least not lose to the reference loop.
+
+packetbench.bench_simd.v1 (bench_micro_simd)
+    The SIMD kernel microbenchmark: a generic backend is always
+    present, every backend reports the full kernel set with positive
+    throughputs, generic speedups are exactly 1, and — when the host
+    has any vector backend — the best backend beats generic on the
+    batched checksum and flow-hash kernels.  No floor is imposed on
+    feistel or clear: the clear kernel delegates large buffers to
+    memset, so parity (speedup ~1.0) is its expected result.
+
+Usage: check_bench.py BENCH_file.json
 """
 
 import json
 import math
 import sys
 
-EXPECTED_SCHEMA = "packetbench.bench_interp.v1"
+INTERP_SCHEMA = "packetbench.bench_interp.v1"
+SIMD_SCHEMA = "packetbench.bench_simd.v1"
+
 EXPECTED_APPS = {"IPv4-radix", "IPv4-trie", "Flow Class.", "TSA"}
 CONFIGS = ("none", "accounting")
+
+SIMD_KERNELS = {"checksum", "flowhash", "feistel", "clear"}
+SIMD_BACKENDS = ("generic", "sse42", "avx2")
+# Kernels where a vector win is part of the acceptance criteria.
+SIMD_MUST_WIN = ("checksum", "flowhash")
 
 
 def fail(msg):
@@ -26,14 +45,7 @@ def fail(msg):
     sys.exit(1)
 
 
-def main():
-    if len(sys.argv) != 2:
-        fail("usage: check_bench.py BENCH_interp.json")
-    with open(sys.argv[1]) as f:
-        doc = json.load(f)
-
-    if doc.get("schema") != EXPECTED_SCHEMA:
-        fail(f"schema {doc.get('schema')!r} != {EXPECTED_SCHEMA!r}")
+def check_interp(doc):
     if doc.get("packets", 0) <= 0 or doc.get("repeats", 0) <= 0:
         fail("packets/repeats missing or non-positive")
 
@@ -88,6 +100,86 @@ def main():
             len(apps), geo["none"], geo["accounting"]
         )
     )
+
+
+def check_simd(doc):
+    for key in ("batch", "repeats", "passes"):
+        if doc.get(key, 0) <= 0:
+            fail(f"{key} missing or non-positive")
+    for key in ("active_backend", "best_backend"):
+        if doc.get(key) not in SIMD_BACKENDS:
+            fail(f"{key} {doc.get(key)!r} not one of {SIMD_BACKENDS}")
+
+    backends = doc.get("backends")
+    if not isinstance(backends, list) or not backends:
+        fail("backends missing or empty")
+    by_name = {}
+    for entry in backends:
+        name = entry.get("backend")
+        if name not in SIMD_BACKENDS:
+            fail(f"unknown backend {name!r}")
+        kernels = entry.get("kernels", {})
+        if set(kernels) != SIMD_KERNELS:
+            fail(
+                f"{name}: kernel set {sorted(kernels)} != "
+                f"{sorted(SIMD_KERNELS)}"
+            )
+        for kname, k in kernels.items():
+            for field in ("mops", "mbytes_per_sec"):
+                v = k.get(field, 0)
+                if not (isinstance(v, (int, float)) and v > 0):
+                    fail(f"{name}/{kname}: {field} {v!r} not > 0")
+        by_name[name] = kernels
+
+    if "generic" not in by_name:
+        fail("generic backend missing (must always be measured)")
+    for kname, k in by_name["generic"].items():
+        if not math.isclose(k.get("speedup_vs_generic", 0), 1.0):
+            fail(f"generic/{kname}: speedup_vs_generic != 1")
+
+    best = doc["best_backend"]
+    if best not in by_name:
+        fail(f"best_backend {best!r} has no measurements")
+    if best != "generic":
+        # Acceptance criterion: the batched checksum and flow-hash
+        # kernels must actually win on a vector-capable host.
+        for kname in SIMD_MUST_WIN:
+            v = by_name[best][kname].get("speedup_vs_generic", 0)
+            if v <= 1.0:
+                fail(
+                    f"{best}/{kname}: speedup_vs_generic {v:.2f} "
+                    "<= 1.0 — vector kernel lost to generic"
+                )
+
+    summary = ", ".join(
+        "{} {:.2f}x".format(
+            k, by_name[best][k].get("speedup_vs_generic", 0)
+        )
+        for k in ("checksum", "flowhash", "feistel", "clear")
+    )
+    print(
+        "bench OK: {} backends, best={} ({})".format(
+            len(by_name), best, summary
+        )
+    )
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: check_bench.py BENCH_file.json")
+    with open(sys.argv[1]) as f:
+        doc = json.load(f)
+
+    schema = doc.get("schema")
+    if schema == INTERP_SCHEMA:
+        check_interp(doc)
+    elif schema == SIMD_SCHEMA:
+        check_simd(doc)
+    else:
+        fail(
+            f"schema {schema!r} not one of "
+            f"[{INTERP_SCHEMA!r}, {SIMD_SCHEMA!r}]"
+        )
 
 
 if __name__ == "__main__":

@@ -76,12 +76,11 @@ MultiCoreBench::leastLoadedEngine() const
 }
 
 uint32_t
-MultiCoreBench::dispatchIndex(const net::Packet &packet)
+MultiCoreBench::placeByHash(bool has_tuple, uint32_t hash)
 {
     const bool stealing =
         cfg.dispatchPolicy == DispatchPolicy::Stealing;
-    net::FiveTuple tuple;
-    if (!parseFiveTuple(packet, tuple)) {
+    if (!has_tuple) {
         // No 5-tuple (non-IPv4, truncated): spread instead of
         // pinning everything to engine 0, which would skew
         // mc.imbalance.  No flow identity means no order constraint,
@@ -92,7 +91,7 @@ MultiCoreBench::dispatchIndex(const net::Packet &packet)
         dispatchedPackets[e]++;
         return e;
     }
-    uint32_t home = net::flowHash(tuple) % numEngines();
+    uint32_t home = hash % numEngines();
     if (!stealing) {
         // Flow pinning: hash the 5-tuple so a flow's state stays on
         // one engine.  The dispatch hash is independent of the
@@ -104,8 +103,7 @@ MultiCoreBench::dispatchIndex(const net::Packet &packet)
     // Stealing: an established flow stays on its recorded engine
     // (flow order per 5-tuple); a new flow goes to the least-loaded
     // engine, which steers mice away from an elephant's engine.
-    auto [it, inserted] =
-        flowHome.try_emplace(net::flowHash(tuple), 0);
+    auto [it, inserted] = flowHome.try_emplace(hash, 0);
     if (inserted) {
         it->second = leastLoadedEngine();
         if (it->second != home)
@@ -113,6 +111,15 @@ MultiCoreBench::dispatchIndex(const net::Packet &packet)
     }
     dispatchedPackets[it->second]++;
     return it->second;
+}
+
+uint32_t
+MultiCoreBench::dispatchIndex(const net::Packet &packet)
+{
+    net::FiveTuple tuple;
+    bool has_tuple = parseFiveTuple(packet, tuple);
+    return placeByHash(has_tuple,
+                       has_tuple ? net::flowHash(tuple) : 0);
 }
 
 uint32_t
@@ -260,25 +267,63 @@ MultiCoreBench::runParallel(net::TraceSource &source,
             obs::traceCounter("mc", queue_names[e],
                               queues[e]->size());
     };
-    for (uint32_t i = 0;
-         i < max_packets && !abort.load(std::memory_order_acquire);
-         i++) {
-        // Graceful shutdown: stop dispatching, then fall through to
-        // the drain below — pending batches are pushed, queues are
-        // closed, and every worker finishes what it was handed, so
-        // the run ends with complete, flushable accounting.
-        if (shutdownRequested())
+    // Batched front end: stage up to hash_batch packets, parse and
+    // flow-hash their headers in one SIMD kernel call, then make
+    // every placement decision in trace order.  The kernel hash is
+    // bit-identical to net::flowHash, so engine e still receives
+    // exactly the serial path's packet subsequence.
+    constexpr uint32_t hash_batch = 16;
+    obs::Counter &hash_batches_ctr =
+        obs::defaultRegistry().counter("mc.hash_batches");
+    std::vector<net::Packet> staged;
+    staged.reserve(hash_batch);
+    const net::Packet *ptrs[hash_batch];
+    uint32_t hash[hash_batch];
+    bool valid[hash_batch];
+    uint32_t taken = 0;
+    bool stop = false;
+    while (!stop) {
+        staged.clear();
+        while (staged.size() < hash_batch && taken < max_packets) {
+            // Graceful shutdown / worker abort: stop pulling, then
+            // fall through to the drain below — staged packets are
+            // still placed, pending batches are pushed, queues are
+            // closed, and every worker finishes what it was handed,
+            // so the run ends with complete, flushable accounting.
+            if (shutdownRequested() ||
+                abort.load(std::memory_order_acquire)) {
+                stop = true;
+                break;
+            }
+            auto packet = source.next();
+            if (!packet) {
+                stop = true;
+                break;
+            }
+            taken++;
+            staged.push_back(std::move(*packet));
+        }
+        if (taken >= max_packets)
+            stop = true;
+        if (staged.empty())
             break;
-        auto packet = source.next();
-        if (!packet)
-            break;
-        uint32_t e = dispatchIndex(*packet);
-        packets_ctr.add(1);
-        pending[e].push_back(std::move(*packet));
-        if (pending[e].size() >= batch_size) {
-            push_batch(e);
-            pending[e] = Batch();
-            pending[e].reserve(batch_size);
+        const unsigned count = static_cast<unsigned>(staged.size());
+        for (unsigned i = 0; i < count; i++)
+            ptrs[i] = &staged[i];
+        {
+            PB_SCOPED_TIMER("simd.hash_ns");
+            net::hashPacketBatch(ptrs, count, hash, valid);
+        }
+        hash_batches_ctr.add(1);
+        for (unsigned i = 0; i < count; i++) {
+            uint32_t e = placeByHash(valid[i], hash[i]);
+            packets_ctr.add(1);
+            pending[e].push_back(std::move(staged[i]));
+            if (pending[e].size() >= batch_size) {
+                push_batch(e);
+                pending[e] = Batch();
+                pending[e].reserve(batch_size);
+            }
         }
     }
     for (uint32_t e = 0; e < n; e++) {

@@ -137,6 +137,16 @@ class MultiCoreBench
      */
     uint32_t dispatchIndex(const net::Packet &packet);
 
+    /**
+     * The policy core of dispatchIndex(), taking the parse outcome
+     * and (when @p has_tuple) the packet's flow hash.  The batched
+     * parallel dispatcher computes hashes for 16 headers per SIMD
+     * kernel call (net::hashPacketBatch) and feeds them through here
+     * one at a time in trace order, so placement state advances
+     * exactly as in the serial path.
+     */
+    uint32_t placeByHash(bool has_tuple, uint32_t hash);
+
     /** Least-loaded engine by dispatched packet count (ties low). */
     uint32_t leastLoadedEngine() const;
 

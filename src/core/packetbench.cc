@@ -9,6 +9,7 @@
 #include <cstdlib>
 
 #include "common/shutdown.hh"
+#include "net/simd/kernels.hh"
 #include "sim/memmap.hh"
 #include "sim/simerror.hh"
 
@@ -140,6 +141,11 @@ PacketBench::PacketBench(Application &app_, BenchConfig cfg_)
         .set(static_cast<double>(blockMap->numBlocks()));
     reg.gauge("pb.program_bytes")
         .set(static_cast<double>(cpu.program().sizeBytes()));
+    // Resolved SIMD kernel backend serving the host hot paths
+    // (0 = generic, 1 = sse42, 2 = avx2; docs/PERFORMANCE.md).
+    reg.gauge("sim.simd.backend")
+        .set(static_cast<double>(
+            static_cast<uint8_t>(net::simd::activeBackend())));
 
     // Interned once: span annotation needs a pointer that stays valid
     // for the tracer's lifetime, not the app's std::string buffer.

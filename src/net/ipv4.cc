@@ -5,21 +5,19 @@
 
 #include "ipv4.hh"
 
+#include <algorithm>
+
+#include "net/simd/kernels.hh"
+
 namespace pb::net
 {
 
 uint16_t
 inetChecksum(const uint8_t *data, unsigned len)
 {
-    uint32_t sum = 0;
-    unsigned i = 0;
-    for (; i + 1 < len; i += 2)
-        sum += loadBe16(data + i);
-    if (i < len)
-        sum += static_cast<uint32_t>(data[i]) << 8;
-    while (sum >> 16)
-        sum = (sum & 0xffff) + (sum >> 16);
-    return static_cast<uint16_t>(~sum);
+    // Runtime-dispatched kernel (generic/sse42/avx2); every backend
+    // is pinned bit-identical to the scalar reference sum.
+    return simd::kernels().checksum(data, len);
 }
 
 bool
@@ -67,14 +65,50 @@ parseFiveTuple(const Packet &packet, FiveTuple &tuple)
     tuple.proto = ip.proto();
     tuple.srcPort = 0;
     tuple.dstPort = 0;
+    // A non-first fragment carries payload where the L4 header would
+    // be; its ports stay 0 so all fragments of a datagram share one
+    // (portless) flow instead of minting a garbage tuple per train.
     if ((tuple.proto == static_cast<uint8_t>(IpProto::Tcp) ||
          tuple.proto == static_cast<uint8_t>(IpProto::Udp)) &&
-        packet.l3Len() >= hlen + 4) {
+        ip.fragOffset() == 0 && packet.l3Len() >= hlen + 4) {
         const uint8_t *l4p = packet.l3() + hlen;
         tuple.srcPort = loadBe16(l4p + l4::offSrcPort);
         tuple.dstPort = loadBe16(l4p + l4::offDstPort);
     }
     return true;
+}
+
+void
+hashPacketBatch(const Packet *const *packets, unsigned n,
+                uint32_t *hash, bool *valid)
+{
+    constexpr unsigned chunk = 16;
+    uint32_t src[chunk], dst[chunk], ports[chunk], proto[chunk];
+    unsigned lane_index[chunk];
+
+    for (unsigned base = 0; base < n; base += chunk) {
+        unsigned count = std::min(n - base, chunk);
+        unsigned lanes = 0;
+        for (unsigned i = 0; i < count; i++) {
+            FiveTuple tuple;
+            valid[base + i] = parseFiveTuple(*packets[base + i], tuple);
+            if (!valid[base + i])
+                continue;
+            src[lanes] = tuple.src;
+            dst[lanes] = tuple.dst;
+            ports[lanes] =
+                (static_cast<uint32_t>(tuple.srcPort) << 16) |
+                tuple.dstPort;
+            proto[lanes] = tuple.proto;
+            lane_index[lanes] = base + i;
+            lanes++;
+        }
+        uint32_t out[chunk];
+        simd::kernels().flowHashBatch(src, dst, ports, proto, out,
+                                      lanes);
+        for (unsigned lane = 0; lane < lanes; lane++)
+            hash[lane_index[lane]] = out[lane];
+    }
 }
 
 ForwardCheck
@@ -85,7 +119,14 @@ rfc1812Check(const Packet &packet)
     Ipv4ConstView ip(packet.l3());
     if (ip.version() != 4 || ip.ihl() < 5)
         return ForwardCheck::BadHeader;
-    if (!verifyIpv4Checksum(packet.l3(), ipv4::minHeaderLen))
+    unsigned hlen = ip.headerLen();
+    if (packet.l3Len() < hlen || ip.totalLen() < hlen)
+        return ForwardCheck::BadHeader;
+    // The checksum covers the whole IHL-derived header, options
+    // included (RFC 1812 §5.2.2): verifying only the fixed 20 bytes
+    // accepts corrupt option words and rejects valid option-bearing
+    // headers whose 20-byte prefix sum happens not to fold to zero.
+    if (!verifyIpv4Checksum(packet.l3(), hlen))
         return ForwardCheck::BadChecksum;
     if (ip.ttl() <= 1)
         return ForwardCheck::TtlExpired;

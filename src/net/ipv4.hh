@@ -65,6 +65,12 @@ class Ipv4View
     uint16_t checksum() const { return loadBe16(p + ipv4::offChecksum); }
     uint32_t src() const { return loadBe32(p + ipv4::offSrc); }
     uint32_t dst() const { return loadBe32(p + ipv4::offDst); }
+    /** Fragment offset in 8-byte units (0 for the first fragment). */
+    uint16_t
+    fragOffset() const
+    {
+        return loadBe16(p + ipv4::offFlagsFrag) & 0x1fff;
+    }
 
     void
     setVersionIhl(uint8_t version, uint8_t ihl)
@@ -103,6 +109,12 @@ class Ipv4ConstView
     uint16_t checksum() const { return loadBe16(p + ipv4::offChecksum); }
     uint32_t src() const { return loadBe32(p + ipv4::offSrc); }
     uint32_t dst() const { return loadBe32(p + ipv4::offDst); }
+    /** Fragment offset in 8-byte units (0 for the first fragment). */
+    uint16_t
+    fragOffset() const
+    {
+        return loadBe16(p + ipv4::offFlagsFrag) & 0x1fff;
+    }
 
   private:
     const uint8_t *p;
@@ -158,6 +170,17 @@ struct FiveTuple
 };
 
 bool parseFiveTuple(const Packet &packet, FiveTuple &tuple);
+
+/**
+ * Parse and flow-hash @p n packets in one pass: valid[i] reports
+ * whether packets[i] parsed (parseFiveTuple semantics) and, when it
+ * did, hash[i] == flowHash(its 5-tuple) — computed by the batched
+ * SIMD kernel, bit-identical to the scalar form.  Entries with
+ * valid[i] == false leave hash[i] unspecified.  The dispatcher's
+ * batched front end (core/multicore.cc).
+ */
+void hashPacketBatch(const Packet *const *packets, unsigned n,
+                     uint32_t *hash, bool *valid);
 
 /**
  * The dispatcher's flow hash of a 5-tuple: the value that pins a

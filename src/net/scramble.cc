@@ -7,6 +7,7 @@
 
 #include "common/hash.hh"
 #include "net/ipv4.hh"
+#include "net/simd/kernels.hh"
 
 namespace pb::net
 {
@@ -24,6 +25,13 @@ AddressScrambler::scramble(uint32_t addr) const
         right = new_right;
     }
     return (static_cast<uint32_t>(left) << 16) | right;
+}
+
+void
+AddressScrambler::scrambleBatch(const uint32_t *in, uint32_t *out,
+                                unsigned n) const
+{
+    simd::kernels().feistelBatch(in, out, n, key, rounds);
 }
 
 uint32_t
@@ -49,11 +57,37 @@ AddressScrambler::scramblePacket(Packet &packet) const
     Ipv4View ip(packet.l3());
     if (ip.version() != 4)
         return;
-    ip.setSrc(scramble(ip.src()));
-    ip.setDst(scramble(ip.dst()));
+
+    // Decide up front whether the incoming checksum verified: a
+    // full fillIpv4Checksum() after scrambling would also *repair* a
+    // checksum that arrived broken, silently converting packets the
+    // forwarding path must drop into forwardable ones.
     unsigned hlen = ip.headerLen();
-    if (hlen >= ipv4::minHeaderLen && hlen <= packet.l3Len())
-        fillIpv4Checksum(packet.l3(), hlen);
+    bool checksum_ok = hlen >= ipv4::minHeaderLen &&
+                       hlen <= packet.l3Len() &&
+                       verifyIpv4Checksum(packet.l3(), hlen);
+
+    uint32_t old_src = ip.src();
+    uint32_t old_dst = ip.dst();
+    uint32_t addrs[2] = {old_src, old_dst};
+    scrambleBatch(addrs, addrs, 2);
+    ip.setSrc(addrs[0]);
+    ip.setDst(addrs[1]);
+
+    if (!checksum_ok)
+        return; // leave an invalid checksum invalid
+    // RFC 1624 incremental update over the four rewritten halfwords
+    // keeps the checksum valid without touching the option bytes.
+    uint16_t sum = ip.checksum();
+    sum = incrementalChecksum(sum, static_cast<uint16_t>(old_src >> 16),
+                              static_cast<uint16_t>(addrs[0] >> 16));
+    sum = incrementalChecksum(sum, static_cast<uint16_t>(old_src),
+                              static_cast<uint16_t>(addrs[0]));
+    sum = incrementalChecksum(sum, static_cast<uint16_t>(old_dst >> 16),
+                              static_cast<uint16_t>(addrs[1] >> 16));
+    sum = incrementalChecksum(sum, static_cast<uint16_t>(old_dst),
+                              static_cast<uint16_t>(addrs[1]));
+    ip.setChecksum(sum);
 }
 
 } // namespace pb::net

@@ -34,8 +34,20 @@ class AddressScrambler
     uint32_t unscramble(uint32_t addr) const;
 
     /**
+     * Scramble @p n addresses through the runtime-dispatched SIMD
+     * Feistel kernel: out[i] == scramble(in[i]) bit-for-bit.
+     * In-place (out == in) is allowed.
+     */
+    void scrambleBatch(const uint32_t *in, uint32_t *out,
+                       unsigned n) const;
+
+    /**
      * Scramble the source and destination addresses of an IPv4
-     * packet in place and repair the header checksum.
+     * packet in place.  When the incoming header checksum verifies
+     * (over the full IHL-derived header), it is updated
+     * incrementally (RFC 1624) so it stays valid; a checksum that
+     * arrived invalid is left invalid rather than repaired, so
+     * downstream forwarding checks still see the corruption.
      * No-op for packets without a complete IPv4 header.
      */
     void scramblePacket(Packet &packet) const;

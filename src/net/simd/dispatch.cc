@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Runtime backend selection: CPUID detection, the PB_SIMD override,
+ * and the resolved kernel table.
+ */
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "net/simd/kernels_impl.hh"
+
+namespace pb::net::simd
+{
+
+std::string_view
+backendName(Backend backend)
+{
+    switch (backend) {
+      case Backend::Generic:
+        return "generic";
+      case Backend::Sse42:
+        return "sse42";
+      case Backend::Avx2:
+        return "avx2";
+    }
+    return "generic";
+}
+
+std::optional<Backend>
+parseBackendName(std::string_view name)
+{
+    if (name == "generic")
+        return Backend::Generic;
+    if (name == "sse42")
+        return Backend::Sse42;
+    if (name == "avx2")
+        return Backend::Avx2;
+    return std::nullopt;
+}
+
+bool
+backendSupported(Backend backend)
+{
+#if defined(__x86_64__) || defined(__i386__)
+    switch (backend) {
+      case Backend::Generic:
+        return true;
+      case Backend::Sse42:
+        return __builtin_cpu_supports("sse4.2") != 0;
+      case Backend::Avx2:
+        return __builtin_cpu_supports("avx2") != 0;
+    }
+    return false;
+#else
+    return backend == Backend::Generic;
+#endif
+}
+
+Backend
+bestSupportedBackend()
+{
+    if (backendSupported(Backend::Avx2))
+        return Backend::Avx2;
+    if (backendSupported(Backend::Sse42))
+        return Backend::Sse42;
+    return Backend::Generic;
+}
+
+namespace detail
+{
+
+Backend
+resolveBackend(const char *env_value, Backend best)
+{
+    if (!env_value || !*env_value)
+        return best;
+    std::optional<Backend> forced = parseBackendName(env_value);
+    if (!forced) {
+        warn("PB_SIMD='%s' is not generic|sse42|avx2; using %s",
+             env_value,
+             std::string(backendName(best)).c_str());
+        return best;
+    }
+    if (!backendSupported(*forced)) {
+        // A forced-but-unavailable backend degrades instead of
+        // failing, so a PB_SIMD CI matrix leg is safe on any host.
+        warn("PB_SIMD=%s not supported by this CPU; using %s",
+             env_value, std::string(backendName(best)).c_str());
+        return best;
+    }
+    return *forced;
+}
+
+} // namespace detail
+
+Backend
+activeBackend()
+{
+    static const Backend resolved = [] {
+        Backend backend = detail::resolveBackend(
+            std::getenv("PB_SIMD"), bestSupportedBackend());
+        PB_LOG(Info, "simd: %s kernel backend (best supported: %s)",
+               std::string(backendName(backend)).c_str(),
+               std::string(backendName(bestSupportedBackend()))
+                   .c_str());
+        return backend;
+    }();
+    return resolved;
+}
+
+const KernelTable &
+backendTable(Backend backend)
+{
+#if defined(__x86_64__) || defined(__i386__)
+    if (!backendSupported(backend))
+        fatal("simd backend %s not supported on this host",
+              std::string(backendName(backend)).c_str());
+    switch (backend) {
+      case Backend::Generic:
+        return genericKernels;
+      case Backend::Sse42:
+        return sse42Kernels;
+      case Backend::Avx2:
+        return avx2Kernels;
+    }
+    return genericKernels;
+#else
+    if (backend != Backend::Generic)
+        fatal("simd backend %s not supported on this host",
+              std::string(backendName(backend)).c_str());
+    return genericKernels;
+#endif
+}
+
+const KernelTable &
+kernels()
+{
+    static const KernelTable &table = backendTable(activeBackend());
+    return table;
+}
+
+} // namespace pb::net::simd

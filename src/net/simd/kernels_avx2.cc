@@ -1,0 +1,204 @@
+/**
+ * @file
+ * AVX2 kernel backend (256-bit vectors).  Compiled with -mavx2; only
+ * reachable through the dispatch table after a CPUID check.  Same
+ * bit-identity arguments as the SSE4.2 backend (kernels_sse42.cc),
+ * with twice the lanes.
+ */
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <algorithm>
+#include <cstring>
+#include <immintrin.h>
+
+#include "net/simd/kernels_impl.hh"
+
+namespace pb::net::simd
+{
+
+namespace
+{
+
+/** Horizontal sum of eight u32 lanes into a u64. */
+inline uint64_t
+hsum32(__m256i v)
+{
+    __m256i wide = _mm256_add_epi64(
+        _mm256_unpacklo_epi32(v, _mm256_setzero_si256()),
+        _mm256_unpackhi_epi32(v, _mm256_setzero_si256()));
+    uint64_t lanes[4];
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(lanes), wide);
+    return lanes[0] + lanes[1] + lanes[2] + lanes[3];
+}
+
+uint16_t
+checksumAvx2(const uint8_t *data, unsigned len)
+{
+    uint64_t sum = 0;
+    unsigned i = 0;
+    while (len - i >= 32) {
+        // Drain the 32-bit lanes well before they can wrap.
+        unsigned end = i + std::min<unsigned>(len - i, 1u << 18);
+        __m256i acc = _mm256_setzero_si256();
+        for (; end - i >= 32; i += 32) {
+            __m256i v = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(data + i));
+            acc = _mm256_add_epi32(
+                acc, _mm256_cvtepu16_epi32(
+                         _mm256_castsi256_si128(v)));
+            acc = _mm256_add_epi32(
+                acc, _mm256_cvtepu16_epi32(
+                         _mm256_extracti128_si256(v, 1)));
+        }
+        sum += hsum32(acc);
+    }
+    if (len - i >= 16) {
+        // One 128-bit step so a 20-byte header still vectorizes.
+        __m128i v = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(data + i));
+        sum += hsum32(_mm256_add_epi32(
+            _mm256_cvtepu16_epi32(v), _mm256_setzero_si256()));
+        i += 16;
+    }
+    sum = detail::leSumTail(sum, data + i, len - i);
+    return detail::finishLeSum(sum);
+}
+
+void
+checksumBatchAvx2(const uint8_t *const *data, const unsigned *len,
+                  uint16_t *out, unsigned n)
+{
+    for (unsigned i = 0; i < n; i++)
+        out[i] = checksumAvx2(data[i], len[i]);
+}
+
+/** mix32 (murmur3 finalizer), eight lanes. */
+inline __m256i
+mix32v(__m256i x)
+{
+    x = _mm256_xor_si256(x, _mm256_srli_epi32(x, 16));
+    x = _mm256_mullo_epi32(
+        x, _mm256_set1_epi32(static_cast<int>(0x85ebca6bu)));
+    x = _mm256_xor_si256(x, _mm256_srli_epi32(x, 13));
+    x = _mm256_mullo_epi32(
+        x, _mm256_set1_epi32(static_cast<int>(0xc2b2ae35u)));
+    x = _mm256_xor_si256(x, _mm256_srli_epi32(x, 16));
+    return x;
+}
+
+/** Two-argument mix32(a, b), eight lanes. */
+inline __m256i
+mix32v2(__m256i a, __m256i b)
+{
+    __m256i t = _mm256_add_epi32(
+        mix32v(a),
+        _mm256_set1_epi32(static_cast<int>(0x9e3779b9u)));
+    t = _mm256_add_epi32(t, _mm256_slli_epi32(b, 6));
+    t = _mm256_add_epi32(t, _mm256_srli_epi32(b, 2));
+    t = _mm256_add_epi32(t, b);
+    return mix32v(t);
+}
+
+/** prf32(key, x), eight lanes with a scalar key. */
+inline __m256i
+prf32v(uint32_t key, __m256i x)
+{
+    __m256i t = _mm256_xor_si256(
+        x, _mm256_set1_epi32(static_cast<int>(key * 0x9e3779b9u)));
+    t = mix32v(t);
+    t = _mm256_add_epi32(t,
+                         _mm256_set1_epi32(static_cast<int>(key)));
+    return mix32v(t);
+}
+
+void
+flowHashBatchAvx2(const uint32_t *src, const uint32_t *dst,
+                  const uint32_t *ports, const uint32_t *proto,
+                  uint32_t *out, unsigned n)
+{
+    unsigned i = 0;
+    for (; n - i >= 8; i += 8) {
+        __m256i vs = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(src + i));
+        __m256i vd = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(dst + i));
+        __m256i vp = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(ports + i));
+        __m256i vr = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(proto + i));
+        __m256i h = mix32v2(mix32v2(vs, vd), mix32v2(vp, vr));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(out + i), h);
+    }
+    for (; i < n; i++)
+        out[i] = detail::scalarFlowHash(src[i], dst[i], ports[i],
+                                        proto[i]);
+}
+
+void
+feistelBatchAvx2(const uint32_t *in, uint32_t *out, unsigned n,
+                 uint32_t key, unsigned rounds)
+{
+    const __m256i mask16 = _mm256_set1_epi32(0xffff);
+    unsigned i = 0;
+    for (; n - i >= 8; i += 8) {
+        __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(in + i));
+        __m256i left = _mm256_srli_epi32(v, 16);
+        __m256i right = _mm256_and_si256(v, mask16);
+        for (unsigned round = 0; round < rounds; round++) {
+            __m256i f = _mm256_and_si256(prf32v(key + round, right),
+                                         mask16);
+            __m256i new_right = _mm256_xor_si256(left, f);
+            left = right;
+            right = new_right;
+        }
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i *>(out + i),
+            _mm256_or_si256(_mm256_slli_epi32(left, 16), right));
+    }
+    for (; i < n; i++)
+        out[i] = detail::scalarFeistel(in[i], key, rounds);
+}
+
+void
+clearBytesAvx2(uint8_t *p, size_t len)
+{
+    // Large clears: libc memset (ERMS/rep-stos paths) wins; the
+    // unrolled stores only pay off on short dirty extents where the
+    // call overhead dominates.
+    if (len >= 512) {
+        std::memset(p, 0, len);
+        return;
+    }
+    const __m256i zero = _mm256_setzero_si256();
+    while (len >= 128) {
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(p), zero);
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(p + 32),
+                            zero);
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(p + 64),
+                            zero);
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(p + 96),
+                            zero);
+        p += 128;
+        len -= 128;
+    }
+    while (len >= 32) {
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(p), zero);
+        p += 32;
+        len -= 32;
+    }
+    if (len)
+        std::memset(p, 0, len);
+}
+
+} // namespace
+
+const KernelTable avx2Kernels = {
+    checksumAvx2,     checksumBatchAvx2, flowHashBatchAvx2,
+    feistelBatchAvx2, clearBytesAvx2,
+};
+
+} // namespace pb::net::simd
+
+#endif // x86

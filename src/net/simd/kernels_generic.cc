@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Generic (portable scalar) kernel backend — the reference every
+ * vector backend is pinned against.
+ */
+
+#include <cstring>
+
+#include "net/simd/kernels.hh"
+#include "net/simd/kernels_impl.hh"
+
+namespace pb::net::simd
+{
+
+namespace
+{
+
+uint16_t
+checksumGeneric(const uint8_t *data, unsigned len)
+{
+    return detail::scalarChecksum(data, len);
+}
+
+void
+checksumBatchGeneric(const uint8_t *const *data, const unsigned *len,
+                     uint16_t *out, unsigned n)
+{
+    for (unsigned i = 0; i < n; i++)
+        out[i] = detail::scalarChecksum(data[i], len[i]);
+}
+
+void
+flowHashBatchGeneric(const uint32_t *src, const uint32_t *dst,
+                     const uint32_t *ports, const uint32_t *proto,
+                     uint32_t *out, unsigned n)
+{
+    for (unsigned i = 0; i < n; i++)
+        out[i] = detail::scalarFlowHash(src[i], dst[i], ports[i],
+                                        proto[i]);
+}
+
+void
+feistelBatchGeneric(const uint32_t *in, uint32_t *out, unsigned n,
+                    uint32_t key, unsigned rounds)
+{
+    for (unsigned i = 0; i < n; i++)
+        out[i] = detail::scalarFeistel(in[i], key, rounds);
+}
+
+void
+clearBytesGeneric(uint8_t *p, size_t len)
+{
+    if (len)
+        std::memset(p, 0, len);
+}
+
+} // namespace
+
+const KernelTable genericKernels = {
+    checksumGeneric,      checksumBatchGeneric,
+    flowHashBatchGeneric, feistelBatchGeneric,
+    clearBytesGeneric,
+};
+
+} // namespace pb::net::simd

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Internal helpers shared by the SIMD kernel backends.
+ *
+ * Two checksum formulations live here:
+ *
+ *  - the big-endian scalar reference (scalarChecksum), byte-for-byte
+ *    the historical net::inetChecksum loop, and
+ *  - the little-endian accumulation the vector backends use.  The
+ *    Internet checksum is endian-symmetric (RFC 1071 §2): summing
+ *    native little-endian 16-bit words and byte-swapping the folded
+ *    result yields exactly the big-endian sum, because a byte swap
+ *    is multiplication by 256 modulo 0xffff, which commutes with
+ *    one's-complement addition.  finishLeSum() performs that fold +
+ *    swap + complement; the differential suite pins the equivalence
+ *    on every length and alignment.
+ *
+ * Not installed: include only from src/net/simd/ sources.
+ */
+
+#ifndef PB_NET_SIMD_KERNELS_IMPL_HH
+#define PB_NET_SIMD_KERNELS_IMPL_HH
+
+#include <cstdint>
+
+#include "common/byteorder.hh"
+#include "common/hash.hh"
+#include "net/simd/kernels.hh"
+
+namespace pb::net::simd
+{
+
+/** Backend tables, defined one per kernels_*.cc. */
+extern const KernelTable genericKernels;
+#if defined(__x86_64__) || defined(__i386__)
+extern const KernelTable sse42Kernels;
+extern const KernelTable avx2Kernels;
+#endif
+
+} // namespace pb::net::simd
+
+namespace pb::net::simd::detail
+{
+
+/**
+ * Big-endian scalar Internet checksum (the reference kernel).  The
+ * accumulator is 64-bit — the historical 32-bit loop silently
+ * dropped carries past ~2^17 bytes of 0xffff words; for every
+ * header- or packet-sized input the two are bit-identical.
+ */
+inline uint16_t
+scalarChecksum(const uint8_t *data, unsigned len)
+{
+    uint64_t sum = 0;
+    unsigned i = 0;
+    for (; i + 1 < len; i += 2)
+        sum += loadBe16(data + i);
+    if (i < len)
+        sum += static_cast<uint32_t>(data[i]) << 8;
+    while (sum >> 16)
+        sum = (sum & 0xffff) + (sum >> 16);
+    return static_cast<uint16_t>(~sum);
+}
+
+/**
+ * Add the little-endian 16-bit words of [data, data+len) to @p sum.
+ * @p data must start at an even word offset of the buffer being
+ * checksummed (vector backends hand over chunk-aligned tails).
+ */
+inline uint64_t
+leSumTail(uint64_t sum, const uint8_t *data, unsigned len)
+{
+    unsigned i = 0;
+    for (; i + 1 < len; i += 2)
+        sum += loadLe16(data + i);
+    if (i < len)
+        sum += data[i]; // odd byte: low half of an LE word
+    return sum;
+}
+
+/** Fold a little-endian word sum and return the big-endian result. */
+inline uint16_t
+finishLeSum(uint64_t sum)
+{
+    while (sum >> 16)
+        sum = (sum & 0xffff) + (sum >> 16);
+    return static_cast<uint16_t>(
+        ~bswap16(static_cast<uint16_t>(sum)));
+}
+
+/** One scalar flow-hash lane (net::flowHash's formula). */
+inline uint32_t
+scalarFlowHash(uint32_t src, uint32_t dst, uint32_t ports,
+               uint32_t proto)
+{
+    return mix32(mix32(src, dst), mix32(ports, proto));
+}
+
+/** One scalar Feistel lane (AddressScrambler::scramble's network). */
+inline uint32_t
+scalarFeistel(uint32_t addr, uint32_t key, unsigned rounds)
+{
+    uint16_t left = static_cast<uint16_t>(addr >> 16);
+    uint16_t right = static_cast<uint16_t>(addr);
+    for (unsigned round = 0; round < rounds; round++) {
+        uint16_t f = static_cast<uint16_t>(prf32(key + round, right));
+        uint16_t new_right = static_cast<uint16_t>(left ^ f);
+        left = right;
+        right = new_right;
+    }
+    return (static_cast<uint32_t>(left) << 16) | right;
+}
+
+} // namespace pb::net::simd::detail
+
+#endif // PB_NET_SIMD_KERNELS_IMPL_HH

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * SSE4.2 kernel backend (128-bit vectors).  Compiled with -msse4.2;
+ * only reachable through the dispatch table after a CPUID check, so
+ * no instruction here executes on a host without SSE4.2.
+ *
+ * Bit-identity with the generic backend:
+ *  - checksum: little-endian lane accumulation + finishLeSum (the
+ *    endian-symmetry argument in kernels_impl.hh);
+ *  - flow hash / Feistel: the mix32 pipeline is plain 32-bit integer
+ *    arithmetic (xor, shift, mullo), identical per lane.
+ */
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <algorithm>
+#include <cstring>
+#include <smmintrin.h>
+
+#include "net/simd/kernels_impl.hh"
+
+namespace pb::net::simd
+{
+
+namespace
+{
+
+/** Horizontal sum of four u32 lanes into a u64. */
+inline uint64_t
+hsum32(__m128i v)
+{
+    uint64_t lanes[2];
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(lanes),
+                     _mm_add_epi64(_mm_unpacklo_epi32(v, _mm_setzero_si128()),
+                                   _mm_unpackhi_epi32(v, _mm_setzero_si128())));
+    return lanes[0] + lanes[1];
+}
+
+uint16_t
+checksumSse42(const uint8_t *data, unsigned len)
+{
+    uint64_t sum = 0;
+    unsigned i = 0;
+    while (len - i >= 16) {
+        // Drain the 32-bit lane accumulator well before it can wrap
+        // (each step adds <= 2 * 0xffff per lane).
+        unsigned end = i + std::min<unsigned>(len - i, 1u << 18);
+        __m128i acc = _mm_setzero_si128();
+        for (; end - i >= 16; i += 16) {
+            __m128i v = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(data + i));
+            acc = _mm_add_epi32(acc, _mm_cvtepu16_epi32(v));
+            acc = _mm_add_epi32(
+                acc, _mm_cvtepu16_epi32(_mm_srli_si128(v, 8)));
+        }
+        sum += hsum32(acc);
+    }
+    sum = detail::leSumTail(sum, data + i, len - i);
+    return detail::finishLeSum(sum);
+}
+
+void
+checksumBatchSse42(const uint8_t *const *data, const unsigned *len,
+                   uint16_t *out, unsigned n)
+{
+    for (unsigned i = 0; i < n; i++)
+        out[i] = checksumSse42(data[i], len[i]);
+}
+
+/** mix32 (murmur3 finalizer), four lanes. */
+inline __m128i
+mix32v(__m128i x)
+{
+    x = _mm_xor_si128(x, _mm_srli_epi32(x, 16));
+    x = _mm_mullo_epi32(
+        x, _mm_set1_epi32(static_cast<int>(0x85ebca6bu)));
+    x = _mm_xor_si128(x, _mm_srli_epi32(x, 13));
+    x = _mm_mullo_epi32(
+        x, _mm_set1_epi32(static_cast<int>(0xc2b2ae35u)));
+    x = _mm_xor_si128(x, _mm_srli_epi32(x, 16));
+    return x;
+}
+
+/** Two-argument mix32(a, b), four lanes. */
+inline __m128i
+mix32v2(__m128i a, __m128i b)
+{
+    __m128i t = _mm_add_epi32(
+        mix32v(a), _mm_set1_epi32(static_cast<int>(0x9e3779b9u)));
+    t = _mm_add_epi32(t, _mm_slli_epi32(b, 6));
+    t = _mm_add_epi32(t, _mm_srli_epi32(b, 2));
+    t = _mm_add_epi32(t, b);
+    return mix32v(t);
+}
+
+/** prf32(key, x), four lanes with a scalar key. */
+inline __m128i
+prf32v(uint32_t key, __m128i x)
+{
+    __m128i t = _mm_xor_si128(
+        x, _mm_set1_epi32(static_cast<int>(key * 0x9e3779b9u)));
+    t = mix32v(t);
+    t = _mm_add_epi32(t, _mm_set1_epi32(static_cast<int>(key)));
+    return mix32v(t);
+}
+
+void
+flowHashBatchSse42(const uint32_t *src, const uint32_t *dst,
+                   const uint32_t *ports, const uint32_t *proto,
+                   uint32_t *out, unsigned n)
+{
+    unsigned i = 0;
+    for (; n - i >= 4; i += 4) {
+        __m128i vs = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(src + i));
+        __m128i vd = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(dst + i));
+        __m128i vp = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(ports + i));
+        __m128i vr = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(proto + i));
+        __m128i h = mix32v2(mix32v2(vs, vd), mix32v2(vp, vr));
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(out + i), h);
+    }
+    for (; i < n; i++)
+        out[i] = detail::scalarFlowHash(src[i], dst[i], ports[i],
+                                        proto[i]);
+}
+
+void
+feistelBatchSse42(const uint32_t *in, uint32_t *out, unsigned n,
+                  uint32_t key, unsigned rounds)
+{
+    const __m128i mask16 = _mm_set1_epi32(0xffff);
+    unsigned i = 0;
+    for (; n - i >= 4; i += 4) {
+        __m128i v = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(in + i));
+        __m128i left = _mm_srli_epi32(v, 16);
+        __m128i right = _mm_and_si128(v, mask16);
+        for (unsigned round = 0; round < rounds; round++) {
+            __m128i f =
+                _mm_and_si128(prf32v(key + round, right), mask16);
+            __m128i new_right = _mm_xor_si128(left, f);
+            left = right;
+            right = new_right;
+        }
+        _mm_storeu_si128(
+            reinterpret_cast<__m128i *>(out + i),
+            _mm_or_si128(_mm_slli_epi32(left, 16), right));
+    }
+    for (; i < n; i++)
+        out[i] = detail::scalarFeistel(in[i], key, rounds);
+}
+
+void
+clearBytesSse42(uint8_t *p, size_t len)
+{
+    // Large clears: libc memset (ERMS/rep-stos paths) wins; the
+    // unrolled stores only pay off on short dirty extents where the
+    // call overhead dominates.
+    if (len >= 512) {
+        std::memset(p, 0, len);
+        return;
+    }
+    const __m128i zero = _mm_setzero_si128();
+    while (len >= 64) {
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(p), zero);
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(p + 16), zero);
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(p + 32), zero);
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(p + 48), zero);
+        p += 64;
+        len -= 64;
+    }
+    while (len >= 16) {
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(p), zero);
+        p += 16;
+        len -= 16;
+    }
+    if (len)
+        std::memset(p, 0, len);
+}
+
+} // namespace
+
+const KernelTable sse42Kernels = {
+    checksumSse42,      checksumBatchSse42, flowHashBatchSse42,
+    feistelBatchSse42,  clearBytesSse42,
+};
+
+} // namespace pb::net::simd
+
+#endif // x86

@@ -15,6 +15,7 @@
 
 #include "apps/flow_class.hh"
 #include "apps/nat_app.hh"
+#include "common/rng.hh"
 #include "core/multicore.hh"
 #include "isa/assembler.hh"
 #include "net/faultinject.hh"
@@ -469,6 +470,92 @@ TEST(MultiCore, StealingSerialParallelMatchOnCorruptedTraces)
                       serial_res.engines[e].faults)
                 << entry.name << " engine " << e;
         }
+    }
+}
+
+TEST(MultiCore, FragmentTrainStaysOnOneEngine)
+{
+    // All fragments of one datagram hash to the same (portless)
+    // flow: the first fragment's ports are deliberately ignored by
+    // the dispatcher-visible tuple only for offset != 0, so later
+    // fragments — whose payload bytes sit where the L4 header would
+    // be — must still land on the first fragment's engine only if
+    // the first fragment also hashes portless.  What the fix
+    // guarantees: every non-first fragment of a train lands on ONE
+    // engine, regardless of the payload bytes at the L4 offset.
+    MultiCoreBench cores(flowFactory(256), 4);
+    FiveTuple tuple;
+    tuple.src = 0x0a000001;
+    tuple.dst = 0x0b000002;
+    tuple.srcPort = 4242;
+    tuple.dstPort = 53;
+    tuple.proto = 17;
+    std::set<uint32_t> engines_used;
+    for (uint16_t frag_off = 1; frag_off <= 32; frag_off++) {
+        Packet frag;
+        frag.bytes =
+            buildIpv4Packet(tuple, 64, 64,
+                            static_cast<uint8_t>(frag_off)); // noisy payload
+        storeBe16(frag.bytes.data() + ipv4::offFlagsFrag,
+                  static_cast<uint16_t>(0x2000 | frag_off));
+        // Garble the bytes at the L4 offset: pre-fix, these were
+        // read as ports and split the train across engines.
+        storeBe16(frag.bytes.data() + ipv4::minHeaderLen,
+                  static_cast<uint16_t>(frag_off * 7919));
+        storeBe16(frag.bytes.data() + ipv4::minHeaderLen + 2,
+                  static_cast<uint16_t>(frag_off * 104729));
+        engines_used.insert(cores.processPacket(frag));
+    }
+    EXPECT_EQ(engines_used.size(), 1u)
+        << "fragment train split across engines";
+}
+
+TEST(MultiCore, FragmentedCorpusSerialParallelBitIdentical)
+{
+    // Mixed corpus — first fragments, later fragments, unparseable
+    // runts — drives the batched hash front end with interleaved
+    // valid/invalid lanes; the serial run stays the per-engine
+    // oracle.
+    std::vector<Packet> corpus;
+    Rng rng(4242);
+    for (uint32_t i = 0; i < 2000; i++) {
+        FiveTuple tuple;
+        tuple.src = 0x0a000000 + rng.below(64);
+        tuple.dst = 0x0b000000 + rng.below(64);
+        tuple.srcPort = static_cast<uint16_t>(1024 + rng.below(100));
+        tuple.dstPort = 80;
+        tuple.proto = 17;
+        Packet packet;
+        packet.bytes = buildIpv4Packet(tuple, 64);
+        if (i % 7 == 3) { // later fragment
+            storeBe16(packet.bytes.data() + ipv4::offFlagsFrag,
+                      static_cast<uint16_t>(0x2000 | (1 + i % 100)));
+        } else if (i % 11 == 5) { // runt: no parseable 5-tuple
+            packet.bytes.resize(6);
+        }
+        corpus.push_back(std::move(packet));
+    }
+
+    MultiCoreBench serial(flowFactory(256), 4);
+    VectorTrace serial_trace(corpus);
+    MultiCoreResult serial_res = serial.run(serial_trace, 2000);
+
+    BenchConfig cfg;
+    cfg.parallel = true;
+    cfg.dispatchBatch = 16;
+    MultiCoreBench parallel(flowFactory(256), 4, cfg);
+    VectorTrace par_trace(corpus);
+    MultiCoreResult par_res = parallel.run(par_trace, 2000);
+
+    ASSERT_EQ(par_res.engines.size(), serial_res.engines.size());
+    for (size_t e = 0; e < serial_res.engines.size(); e++) {
+        EXPECT_EQ(par_res.engines[e].packets,
+                  serial_res.engines[e].packets) << "engine " << e;
+        EXPECT_EQ(par_res.engines[e].instructions,
+                  serial_res.engines[e].instructions)
+            << "engine " << e;
+        EXPECT_EQ(par_res.engines[e].bytes,
+                  serial_res.engines[e].bytes) << "engine " << e;
     }
 }
 

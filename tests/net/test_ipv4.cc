@@ -143,4 +143,127 @@ TEST(Ipv4, BuildRejectsTinyPacket)
     EXPECT_THROW(buildIpv4Packet(sampleTuple(), 20), FatalError);
 }
 
+/** Rewrite a built packet as IHL=6 with one 4-byte option word. */
+std::vector<uint8_t>
+withOptions(uint16_t total_len, uint32_t option_word)
+{
+    // Build a 20-byte-header packet, then splice the option word in
+    // after the fixed header and re-derive IHL/lengths/checksum.
+    auto bytes = buildIpv4Packet(sampleTuple(), total_len);
+    bytes.insert(bytes.begin() + ipv4::minHeaderLen, 4, 0);
+    storeBe32(bytes.data() + ipv4::minHeaderLen, option_word);
+    bytes.resize(total_len); // keep the advertised total length
+    Ipv4View ip(bytes.data());
+    ip.setVersionIhl(4, 6);
+    ip.setTotalLen(total_len);
+    fillIpv4Checksum(bytes.data(), 24);
+    return bytes;
+}
+
+TEST(Ipv4, Rfc1812ChecksumCoversOptions)
+{
+    Packet packet;
+    packet.bytes = withOptions(64, 0x07040404); // record-route-ish
+    ASSERT_EQ(Ipv4ConstView(packet.bytes.data()).headerLen(), 24u);
+    EXPECT_EQ(rfc1812Check(packet), ForwardCheck::Ok);
+
+    // Corrupting an option byte must now fail the checksum: the sum
+    // covers the full IHL-derived header, not just 20 bytes.
+    packet.bytes[ipv4::minHeaderLen + 1] ^= 0x40;
+    EXPECT_EQ(rfc1812Check(packet), ForwardCheck::BadChecksum);
+}
+
+TEST(Ipv4, Rfc1812AcceptsOptionHeaderWhosePrefixSumDiffers)
+{
+    // A valid option-bearing header almost never has a 20-byte
+    // prefix that also folds to zero; the old minHeaderLen verify
+    // rejected these as BadChecksum.
+    Packet packet;
+    packet.bytes = withOptions(64, 0x01010100); // NOP padding
+    EXPECT_FALSE(verifyIpv4Checksum(packet.bytes.data(),
+                                    ipv4::minHeaderLen));
+    EXPECT_EQ(rfc1812Check(packet), ForwardCheck::Ok);
+}
+
+TEST(Ipv4, Rfc1812RejectsTruncatedOptionHeader)
+{
+    // l3Len < IHL-derived header length: BadHeader, not a read past
+    // the end of the buffer.
+    Packet packet;
+    packet.bytes = withOptions(64, 0x01010100);
+    packet.bytes.resize(22);
+    EXPECT_EQ(rfc1812Check(packet), ForwardCheck::BadHeader);
+}
+
+TEST(Ipv4, Rfc1812RejectsTotalLenShorterThanHeader)
+{
+    // totalLen inside the header (16 < 24): malformed even though
+    // the buffer itself is long enough.
+    Packet packet;
+    packet.bytes = withOptions(64, 0x01010100);
+    Ipv4View ip(packet.bytes.data());
+    ip.setTotalLen(16);
+    fillIpv4Checksum(packet.bytes.data(), 24);
+    EXPECT_EQ(rfc1812Check(packet), ForwardCheck::BadHeader);
+}
+
+TEST(Ipv4, ParseFiveTupleFragmentTrainSharesPortlessTuple)
+{
+    // A non-first fragment carries payload bytes where the L4 header
+    // would sit; reading "ports" there would split one datagram's
+    // fragments across garbage flows.
+    Packet first;
+    first.bytes = buildIpv4Packet(sampleTuple(), 40);
+    // First fragment: MF set, offset 0 — the real L4 header is
+    // present, so ports are read.
+    storeBe16(first.bytes.data() + ipv4::offFlagsFrag, 0x2000);
+    FiveTuple tuple;
+    ASSERT_TRUE(parseFiveTuple(first, tuple));
+    EXPECT_EQ(tuple.srcPort, sampleTuple().srcPort);
+    EXPECT_EQ(tuple.dstPort, sampleTuple().dstPort);
+
+    // Later fragments: offset != 0 — ports stay 0 regardless of the
+    // bytes at the L4 offset.
+    for (uint16_t frag_off : {1, 5, 0x1fff}) {
+        Packet frag;
+        frag.bytes = buildIpv4Packet(sampleTuple(), 40);
+        storeBe16(frag.bytes.data() + ipv4::offFlagsFrag,
+                  static_cast<uint16_t>(0x2000 | frag_off));
+        FiveTuple frag_tuple;
+        ASSERT_TRUE(parseFiveTuple(frag, frag_tuple));
+        EXPECT_EQ(frag_tuple.srcPort, 0) << frag_off;
+        EXPECT_EQ(frag_tuple.dstPort, 0) << frag_off;
+        EXPECT_EQ(frag_tuple.src, tuple.src);
+        EXPECT_EQ(frag_tuple.dst, tuple.dst);
+        EXPECT_EQ(frag_tuple.proto, tuple.proto);
+    }
+}
+
+TEST(Ipv4, FragOffsetAccessor)
+{
+    auto bytes = buildIpv4Packet(sampleTuple(), 40);
+    Ipv4View ip(bytes.data());
+    EXPECT_EQ(ip.fragOffset(), 0); // DF-only flags: offset bits clear
+    storeBe16(bytes.data() + ipv4::offFlagsFrag, 0x2000 | 123);
+    EXPECT_EQ(ip.fragOffset(), 123);
+    EXPECT_EQ(Ipv4ConstView(bytes.data()).fragOffset(), 123);
+}
+
+TEST(Ipv4, HashPacketBatchEmptyAndSingle)
+{
+    // Degenerate batch sizes used by the dispatcher's tail.
+    hashPacketBatch(nullptr, 0, nullptr, nullptr);
+
+    Packet packet;
+    packet.bytes = buildIpv4Packet(sampleTuple(), 40);
+    const Packet *ptr = &packet;
+    uint32_t hash = 0;
+    bool valid = false;
+    hashPacketBatch(&ptr, 1, &hash, &valid);
+    ASSERT_TRUE(valid);
+    FiveTuple tuple;
+    ASSERT_TRUE(parseFiveTuple(packet, tuple));
+    EXPECT_EQ(hash, flowHash(tuple));
+}
+
 } // namespace

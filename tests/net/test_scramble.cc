@@ -95,4 +95,82 @@ TEST(Scramble, IgnoresNonIpv4Packets)
     EXPECT_EQ(junk.bytes[0], 0x60);
 }
 
+TEST(Scramble, PacketRewriteLeavesBadChecksumBad)
+{
+    // Regression: the old path recomputed the checksum from scratch
+    // after scrambling, silently *repairing* corruption — a packet
+    // that arrived invalid must still be invalid downstream.
+    FiveTuple tuple;
+    tuple.src = 0x0a000001;
+    tuple.dst = 0x0a000002;
+    tuple.proto = 6;
+    Packet packet;
+    packet.bytes = buildIpv4Packet(tuple, 40);
+    Ipv4View ip(packet.l3());
+    ip.setChecksum(static_cast<uint16_t>(ip.checksum() ^ 0x00ff));
+    ASSERT_FALSE(verifyIpv4Checksum(packet.l3(), 20));
+
+    AddressScrambler scrambler(0x1234);
+    scrambler.scramblePacket(packet);
+
+    // Addresses are scrambled either way...
+    EXPECT_EQ(ip.src(), scrambler.scramble(0x0a000001));
+    EXPECT_EQ(ip.dst(), scrambler.scramble(0x0a000002));
+    // ...but the checksum stays broken.
+    EXPECT_FALSE(verifyIpv4Checksum(packet.l3(), 20));
+}
+
+TEST(Scramble, PacketRewriteUpdatesOptionHeaderIncrementally)
+{
+    // With options, the incremental update must keep the checksum
+    // valid over the full IHL-derived header without rewriting the
+    // option bytes.
+    FiveTuple tuple;
+    tuple.src = 0xc0a80101;
+    tuple.dst = 0x08080808;
+    tuple.proto = 17;
+    Packet packet;
+    packet.bytes = buildIpv4Packet(tuple, 64);
+    packet.bytes.insert(packet.bytes.begin() + ipv4::minHeaderLen, 4,
+                        0x01); // NOP option padding
+    packet.bytes.resize(64);
+    Ipv4View ip(packet.l3());
+    ip.setVersionIhl(4, 6);
+    ip.setTotalLen(64);
+    fillIpv4Checksum(packet.l3(), 24);
+
+    AddressScrambler scrambler(0xbeef);
+    scrambler.scramblePacket(packet);
+
+    EXPECT_EQ(ip.src(), scrambler.scramble(0xc0a80101));
+    EXPECT_EQ(ip.dst(), scrambler.scramble(0x08080808));
+    EXPECT_TRUE(verifyIpv4Checksum(packet.l3(), 24));
+    for (unsigned i = 0; i < 4; i++)
+        EXPECT_EQ(packet.bytes[ipv4::minHeaderLen + i], 0x01) << i;
+}
+
+TEST(Scramble, PacketRewriteChecksumMatchesFullRecompute)
+{
+    // Property: for packets that arrive valid, the RFC 1624
+    // incremental path lands on exactly the checksum a full
+    // recompute would produce.
+    Rng rng(99);
+    AddressScrambler scrambler(0xa5a5a5a5);
+    for (int i = 0; i < 200; i++) {
+        FiveTuple tuple;
+        tuple.src = rng.next();
+        tuple.dst = rng.next();
+        tuple.proto = 6;
+        Packet packet;
+        packet.bytes = buildIpv4Packet(tuple, 40);
+        scrambler.scramblePacket(packet);
+        Ipv4ConstView ip(packet.l3());
+        uint16_t got = ip.checksum();
+        std::vector<uint8_t> copy = packet.bytes;
+        fillIpv4Checksum(copy.data(), 20);
+        EXPECT_EQ(got, Ipv4ConstView(copy.data()).checksum())
+            << "iter " << i;
+    }
+}
+
 } // namespace

@@ -1,0 +1,369 @@
+/**
+ * @file
+ * Differential tests for the runtime-dispatched SIMD kernel layer:
+ * every backend the host supports must be bit-identical to the
+ * generic reference on random and adversarial inputs, and the
+ * PB_SIMD resolution logic must fall back safely.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "common/rng.hh"
+#include "net/ipv4.hh"
+#include "net/scramble.hh"
+#include "net/simd/kernels.hh"
+
+namespace
+{
+
+using namespace pb;
+using namespace pb::net;
+using namespace pb::net::simd;
+
+/** Every backend runnable on this host, generic first. */
+std::vector<Backend>
+supportedBackends()
+{
+    std::vector<Backend> list;
+    for (unsigned b = 0; b < numBackends; b++) {
+        Backend backend = static_cast<Backend>(b);
+        if (backendSupported(backend))
+            list.push_back(backend);
+    }
+    return list;
+}
+
+TEST(SimdDispatch, NamesRoundTrip)
+{
+    for (unsigned b = 0; b < numBackends; b++) {
+        Backend backend = static_cast<Backend>(b);
+        auto parsed = parseBackendName(backendName(backend));
+        ASSERT_TRUE(parsed.has_value());
+        EXPECT_EQ(*parsed, backend);
+    }
+    EXPECT_FALSE(parseBackendName("").has_value());
+    EXPECT_FALSE(parseBackendName("avx512").has_value());
+    EXPECT_FALSE(parseBackendName("SSE42").has_value());
+}
+
+TEST(SimdDispatch, GenericAlwaysSupported)
+{
+    EXPECT_TRUE(backendSupported(Backend::Generic));
+    // bestSupportedBackend() must itself be supported.
+    EXPECT_TRUE(backendSupported(bestSupportedBackend()));
+}
+
+TEST(SimdDispatch, ResolveBackendHonorsOverride)
+{
+    Backend best = bestSupportedBackend();
+    // No override (or empty): the best backend wins.
+    EXPECT_EQ(detail::resolveBackend(nullptr, best), best);
+    EXPECT_EQ(detail::resolveBackend("", best), best);
+    // Malformed name: warn-and-fallback, never a crash.
+    EXPECT_EQ(detail::resolveBackend("turbo9000", best), best);
+    // Any supported backend can be forced; an unsupported one
+    // degrades to best so forced CI legs are safe everywhere.
+    for (unsigned b = 0; b < numBackends; b++) {
+        Backend backend = static_cast<Backend>(b);
+        std::string name(backendName(backend));
+        Backend got = detail::resolveBackend(name.c_str(), best);
+        if (backendSupported(backend))
+            EXPECT_EQ(got, backend) << name;
+        else
+            EXPECT_EQ(got, best) << name;
+    }
+}
+
+TEST(SimdDispatch, ActiveBackendMatchesResolution)
+{
+    EXPECT_EQ(activeBackend(),
+              detail::resolveBackend(std::getenv("PB_SIMD"),
+                                     bestSupportedBackend()));
+}
+
+#if defined(__x86_64__) || defined(__i386__)
+TEST(SimdDispatch, VectorBackendSelectedOnCapableHost)
+{
+    // Acceptance: on a host with AVX2 (or SSE4.2), the runtime
+    // dispatcher must not quietly fall back to generic.
+    if (!backendSupported(Backend::Sse42) &&
+        !backendSupported(Backend::Avx2))
+        GTEST_SKIP() << "host has no vector backend";
+    EXPECT_NE(bestSupportedBackend(), Backend::Generic);
+    if (backendSupported(Backend::Avx2)) {
+        EXPECT_EQ(bestSupportedBackend(), Backend::Avx2);
+    }
+    const char *forced = std::getenv("PB_SIMD");
+    if (!forced || !*forced) {
+        EXPECT_NE(activeBackend(), Backend::Generic);
+    }
+}
+#endif
+
+TEST(SimdChecksum, BackendsMatchGenericOnRandomBuffers)
+{
+    const KernelTable &ref = backendTable(Backend::Generic);
+    Rng rng(101);
+    // Adversarial lengths: empty, single byte, every length through
+    // two vector chunks, a 20/60-byte header, and odd tails.
+    std::vector<unsigned> lens;
+    for (unsigned len = 0; len <= 80; len++)
+        lens.push_back(len);
+    for (unsigned len : {127u, 128u, 129u, 255u, 1000u, 1001u, 4096u})
+        lens.push_back(len);
+    for (Backend backend : supportedBackends()) {
+        const KernelTable &kern = backendTable(backend);
+        for (unsigned len : lens) {
+            std::vector<uint8_t> buf(len);
+            for (auto &byte : buf)
+                byte = static_cast<uint8_t>(rng.below(256));
+            EXPECT_EQ(kern.checksum(buf.data(), len),
+                      ref.checksum(buf.data(), len))
+                << backendName(backend) << " len " << len;
+        }
+    }
+}
+
+TEST(SimdChecksum, BackendsMatchGenericOnAllOnesAndCarryChains)
+{
+    // All-0xff buffers maximize carry traffic through the fold; they
+    // historically shake out lane-overflow bugs.
+    const KernelTable &ref = backendTable(Backend::Generic);
+    for (Backend backend : supportedBackends()) {
+        const KernelTable &kern = backendTable(backend);
+        for (unsigned len : {1u, 15u, 16u, 17u, 31u, 32u, 33u, 20u,
+                             60u, 65535u}) {
+            std::vector<uint8_t> buf(len, 0xff);
+            EXPECT_EQ(kern.checksum(buf.data(), len),
+                      ref.checksum(buf.data(), len))
+                << backendName(backend) << " len " << len;
+        }
+    }
+}
+
+TEST(SimdChecksum, LargeBufferDoesNotOverflowLanes)
+{
+    // > 2^18 bytes forces the vector backends through their
+    // accumulator drain at least once.
+    const KernelTable &ref = backendTable(Backend::Generic);
+    std::vector<uint8_t> buf((1u << 19) + 7, 0xff);
+    Rng rng(55);
+    for (size_t i = 0; i < buf.size(); i += 97)
+        buf[i] = static_cast<uint8_t>(rng.below(256));
+    for (Backend backend : supportedBackends()) {
+        EXPECT_EQ(backendTable(backend).checksum(
+                      buf.data(),
+                      static_cast<unsigned>(buf.size())),
+                  ref.checksum(buf.data(),
+                               static_cast<unsigned>(buf.size())))
+            << backendName(backend);
+    }
+}
+
+TEST(SimdChecksum, MatchesInetChecksumAndKnownVectors)
+{
+    // The dispatched net::inetChecksum must agree with the reference
+    // kernel and with the historical known answers.
+    uint8_t hdr[20] = {0x45, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40,
+                       0x00, 0x40, 0x11, 0x00, 0x00, 0xc0, 0xa8,
+                       0x00, 0x01, 0xc0, 0xa8, 0x00, 0xc7};
+    EXPECT_EQ(inetChecksum(hdr, 20), 0xb861);
+    uint8_t odd[3] = {0x12, 0x34, 0x56};
+    EXPECT_EQ(inetChecksum(odd, 3), 0x97cb);
+    for (Backend backend : supportedBackends()) {
+        EXPECT_EQ(backendTable(backend).checksum(hdr, 20), 0xb861)
+            << backendName(backend);
+        EXPECT_EQ(backendTable(backend).checksum(odd, 3), 0x97cb)
+            << backendName(backend);
+    }
+}
+
+TEST(SimdChecksum, BatchMatchesSingle)
+{
+    Rng rng(77);
+    constexpr unsigned n = 33; // odd count: exercises remainders
+    std::vector<std::vector<uint8_t>> bufs(n);
+    const uint8_t *ptrs[n];
+    unsigned lens[n];
+    for (unsigned i = 0; i < n; i++) {
+        lens[i] = rng.below(128); // includes runts and length 0
+        bufs[i].resize(lens[i]);
+        for (auto &byte : bufs[i])
+            byte = static_cast<uint8_t>(rng.below(256));
+        ptrs[i] = bufs[i].data();
+    }
+    for (Backend backend : supportedBackends()) {
+        const KernelTable &kern = backendTable(backend);
+        uint16_t out[n];
+        kern.checksumBatch(ptrs, lens, out, n);
+        for (unsigned i = 0; i < n; i++) {
+            EXPECT_EQ(out[i], kern.checksum(ptrs[i], lens[i]))
+                << backendName(backend) << " buf " << i;
+        }
+    }
+}
+
+TEST(SimdFlowHash, BackendsMatchScalarFlowHash)
+{
+    Rng rng(202);
+    for (unsigned n : {0u, 1u, 3u, 4u, 5u, 7u, 8u, 9u, 16u, 33u}) {
+        std::vector<uint32_t> src(n), dst(n), ports(n), proto(n);
+        std::vector<FiveTuple> tuples(n);
+        for (unsigned i = 0; i < n; i++) {
+            FiveTuple &tuple = tuples[i];
+            tuple.src = rng.next();
+            tuple.dst = rng.next();
+            tuple.srcPort = static_cast<uint16_t>(rng.next());
+            tuple.dstPort = static_cast<uint16_t>(rng.next());
+            tuple.proto = static_cast<uint8_t>(rng.below(256));
+            src[i] = tuple.src;
+            dst[i] = tuple.dst;
+            ports[i] =
+                (static_cast<uint32_t>(tuple.srcPort) << 16) |
+                tuple.dstPort;
+            proto[i] = tuple.proto;
+        }
+        for (Backend backend : supportedBackends()) {
+            std::vector<uint32_t> out(n + 1, 0xdeadbeef);
+            backendTable(backend).flowHashBatch(
+                src.data(), dst.data(), ports.data(), proto.data(),
+                out.data(), n);
+            for (unsigned i = 0; i < n; i++) {
+                EXPECT_EQ(out[i], flowHash(tuples[i]))
+                    << backendName(backend) << " n " << n << " lane "
+                    << i;
+            }
+            // One-past-the-end stays untouched.
+            EXPECT_EQ(out[n], 0xdeadbeefu) << backendName(backend);
+        }
+    }
+}
+
+TEST(SimdFeistel, BackendsMatchAddressScrambler)
+{
+    Rng rng(303);
+    AddressScrambler scrambler(0x5ca1ab1e);
+    for (unsigned n : {0u, 1u, 3u, 4u, 5u, 8u, 13u, 32u, 41u}) {
+        std::vector<uint32_t> in(n);
+        for (auto &addr : in)
+            addr = rng.next();
+        // Corner addresses when there is room.
+        if (n >= 3) {
+            in[0] = 0;
+            in[1] = 0xffffffffu;
+            in[2] = 0x7fff8000u;
+        }
+        for (Backend backend : supportedBackends()) {
+            std::vector<uint32_t> out(n);
+            backendTable(backend).feistelBatch(
+                in.data(), out.data(), n, 0x5ca1ab1e, 4);
+            for (unsigned i = 0; i < n; i++) {
+                EXPECT_EQ(out[i], scrambler.scramble(in[i]))
+                    << backendName(backend) << " lane " << i;
+                EXPECT_EQ(scrambler.unscramble(out[i]), in[i])
+                    << backendName(backend) << " lane " << i;
+            }
+        }
+    }
+}
+
+TEST(SimdFeistel, InPlaceAndScrambleBatchAgree)
+{
+    Rng rng(404);
+    AddressScrambler scrambler(0xfeedface);
+    constexpr unsigned n = 19;
+    std::vector<uint32_t> addrs(n);
+    for (auto &addr : addrs)
+        addr = rng.next();
+    std::vector<uint32_t> inplace = addrs;
+    scrambler.scrambleBatch(inplace.data(), inplace.data(), n);
+    for (unsigned i = 0; i < n; i++)
+        EXPECT_EQ(inplace[i], scrambler.scramble(addrs[i])) << i;
+}
+
+TEST(SimdClear, ZeroesExactlyTheRequestedRange)
+{
+    // Canary bytes on both sides of the cleared window must survive
+    // every length and offset combination.
+    for (Backend backend : supportedBackends()) {
+        const KernelTable &kern = backendTable(backend);
+        for (size_t len : {size_t{0}, size_t{1}, size_t{15},
+                           size_t{16}, size_t{17}, size_t{31},
+                           size_t{32}, size_t{63}, size_t{64},
+                           size_t{65}, size_t{127}, size_t{128},
+                           size_t{129}, size_t{1000}}) {
+            for (size_t offset : {size_t{0}, size_t{1}, size_t{7}}) {
+                std::vector<uint8_t> buf(offset + len + 8, 0xab);
+                kern.clearBytes(buf.data() + offset, len);
+                for (size_t i = 0; i < offset; i++)
+                    EXPECT_EQ(buf[i], 0xab)
+                        << backendName(backend) << " len " << len;
+                for (size_t i = 0; i < len; i++)
+                    EXPECT_EQ(buf[offset + i], 0)
+                        << backendName(backend) << " len " << len;
+                for (size_t i = offset + len; i < buf.size(); i++)
+                    EXPECT_EQ(buf[i], 0xab)
+                        << backendName(backend) << " len " << len;
+            }
+        }
+    }
+}
+
+TEST(SimdHashPacketBatch, MatchesScalarParsePath)
+{
+    // hashPacketBatch must agree lane-for-lane with parseFiveTuple +
+    // flowHash, including invalid lanes interleaved at every
+    // position (the dispatcher depends on this for serial/parallel
+    // bit-identity).
+    Rng rng(505);
+    std::vector<net::Packet> packets;
+    for (unsigned i = 0; i < 37; i++) {
+        net::Packet packet;
+        FiveTuple tuple;
+        tuple.src = rng.next();
+        tuple.dst = rng.next();
+        tuple.srcPort = static_cast<uint16_t>(rng.next());
+        tuple.dstPort = static_cast<uint16_t>(rng.next());
+        tuple.proto = static_cast<uint8_t>(
+            (i % 3) ? IpProto::Tcp : IpProto::Udp);
+        packet.bytes = buildIpv4Packet(tuple, 40);
+        switch (i % 5) {
+          case 0: // runt: too short for any header
+            packet.bytes.resize(8);
+            break;
+          case 1: // wrong version
+            packet.bytes[0] = 0x65;
+            break;
+          case 2: // non-first fragment: ports must not be read
+            storeBe16(packet.bytes.data() + ipv4::offFlagsFrag,
+                      0x2000 | 5);
+            break;
+          default:
+            break;
+        }
+        packets.push_back(std::move(packet));
+    }
+    const unsigned n = static_cast<unsigned>(packets.size());
+    std::vector<const net::Packet *> ptrs;
+    for (const auto &packet : packets)
+        ptrs.push_back(&packet);
+    std::vector<uint32_t> hash(n);
+    std::vector<uint8_t> valid_bytes(n); // bool storage
+    hashPacketBatch(ptrs.data(), n, hash.data(),
+                    reinterpret_cast<bool *>(valid_bytes.data()));
+    for (unsigned i = 0; i < n; i++) {
+        FiveTuple tuple;
+        bool want_valid = parseFiveTuple(packets[i], tuple);
+        EXPECT_EQ(static_cast<bool>(valid_bytes[i]), want_valid)
+            << i;
+        if (want_valid) {
+            EXPECT_EQ(hash[i], flowHash(tuple)) << i;
+        }
+    }
+}
+
+} // namespace

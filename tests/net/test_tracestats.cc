@@ -5,6 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
+#include <vector>
+
+#include "net/ipv4.hh"
 #include "net/tracegen.hh"
 #include "net/tracestats.hh"
 
@@ -62,6 +66,62 @@ TEST(TraceStats, ReportMentionsKeyNumbers)
     EXPECT_NE(report.find("500"), std::string::npos);
     EXPECT_NE(report.find("TCP"), std::string::npos);
     EXPECT_NE(report.find("distinct flows"), std::string::npos);
+}
+
+/** Replays a pre-built packet vector. */
+class VectorTrace : public TraceSource
+{
+  public:
+    explicit VectorTrace(std::vector<Packet> packets)
+        : packets(std::move(packets))
+    {
+    }
+
+    std::optional<Packet>
+    next() override
+    {
+        if (index >= packets.size())
+            return std::nullopt;
+        return packets[index++];
+    }
+
+    std::string name() const override { return "vector"; }
+
+  private:
+    std::vector<Packet> packets;
+    size_t index = 0;
+};
+
+TEST(TraceStats, FragmentTrainCountsAsOneFlow)
+{
+    // Regression: non-first fragments used to be "parsed" with
+    // payload bytes as ports, minting one garbage flow per fragment
+    // and inflating distinctFlows (and, downstream, the live top-K
+    // flow table).  A 32-fragment train is one portless flow.
+    FiveTuple tuple;
+    tuple.src = 0x0a000001;
+    tuple.dst = 0x0b000002;
+    tuple.srcPort = 4242;
+    tuple.dstPort = 53;
+    tuple.proto = 17;
+    std::vector<Packet> packets;
+    for (uint16_t frag_off = 1; frag_off <= 32; frag_off++) {
+        Packet frag;
+        frag.bytes = buildIpv4Packet(
+            tuple, 64, 64, static_cast<uint8_t>(frag_off));
+        storeBe16(frag.bytes.data() + ipv4::offFlagsFrag,
+                  static_cast<uint16_t>(0x2000 | frag_off));
+        // Distinct payload bytes where the L4 ports would sit.
+        storeBe16(frag.bytes.data() + ipv4::minHeaderLen,
+                  static_cast<uint16_t>(frag_off * 7919));
+        frag.wireLen = 64;
+        packets.push_back(std::move(frag));
+    }
+    VectorTrace trace(std::move(packets));
+    TraceStats stats = collectTraceStats(trace);
+    EXPECT_EQ(stats.packets, 32u);
+    EXPECT_EQ(stats.ipv4Packets, 32u);
+    EXPECT_EQ(stats.distinctFlows, 1u);
 }
 
 } // namespace
